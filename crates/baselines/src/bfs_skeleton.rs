@@ -1,0 +1,185 @@
+//! The trivial skeleton: a BFS spanning forest.
+//!
+//! n − 1 edges (per component), preserves connectivity, but guarantees
+//! nothing about distortion beyond the component diameter — the anchor row
+//! of the Fig. 1 comparison ("a sparse substitute should at the very least
+//! preserve connectivity").
+//!
+//! Also provides the distributed variant (a min-id BFS forest built with
+//! the [`MinIdBroadcast`](spanner_netsim::patterns::MinIdBroadcast)
+//! pattern), which runs in O(diameter) rounds with 2-word messages.
+
+use spanner_graph::components::connected_components;
+use spanner_graph::traversal::bfs_tree;
+use spanner_graph::{EdgeSet, Graph, NodeId};
+use spanner_netsim::patterns::SourceInfo;
+use spanner_netsim::{Ctx, MessageBudget, Network, Protocol, RunError};
+use ultrasparse::Spanner;
+
+/// BFS spanning forest rooted at the minimum-id vertex of each component.
+pub fn build(g: &Graph) -> Spanner {
+    let comps = connected_components(g);
+    // Minimum-id root per component.
+    let mut root: Vec<Option<NodeId>> = vec![None; comps.count];
+    for v in g.nodes() {
+        let c = comps.labels[v.index()] as usize;
+        if root[c].is_none() {
+            root[c] = Some(v);
+        }
+    }
+    let mut edges = EdgeSet::new(g);
+    for r in root.into_iter().flatten() {
+        let t = bfs_tree(g, r);
+        for v in g.nodes() {
+            if let Some(p) = t.parent[v.index()] {
+                let e = g.find_edge(v, p).expect("tree edge");
+                edges.insert(e);
+            }
+        }
+    }
+    Spanner::from_edges(edges)
+}
+
+/// Leader-election BFS: each vertex tracks the lexicographically minimal
+/// (root id, distance) pair it has heard of. At quiescence the minimum-id
+/// vertex of each component is the elected root and every vertex knows its
+/// exact BFS distance to it.
+#[derive(Debug, Clone)]
+struct MinRootBfs {
+    best: SourceInfo,
+    sent: Option<SourceInfo>,
+}
+
+impl Protocol for MinRootBfs {
+    type Msg = SourceInfo;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, SourceInfo>) {
+        self.best = SourceInfo {
+            dist: 0,
+            source: ctx.me(),
+        };
+        ctx.broadcast(self.best);
+        self.sent = Some(self.best);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, SourceInfo>, inbox: &[(NodeId, SourceInfo)]) {
+        let mut improved = false;
+        for &(_, info) in inbox {
+            let cand = SourceInfo {
+                dist: info.dist + 1,
+                source: info.source,
+            };
+            // Root id dominates, then distance.
+            if (cand.source, cand.dist) < (self.best.source, self.best.dist) {
+                self.best = cand;
+                improved = true;
+            }
+        }
+        if improved && self.sent != Some(self.best) {
+            ctx.broadcast(self.best);
+            self.sent = Some(self.best);
+        }
+    }
+}
+
+/// Distributed BFS forest: the minimum-id vertex of each component is
+/// elected root by flooding and each non-root vertex keeps one edge toward
+/// its minimum-id parent on a shortest path to the root.
+///
+/// # Errors
+///
+/// Propagates simulator errors; with `max_rounds ≥ O(diameter)` none
+/// occur.
+pub fn build_distributed(g: &Graph, seed: u64, max_rounds: u32) -> Result<Spanner, RunError> {
+    let mut net = Network::new(g, MessageBudget::Words(2), seed);
+    let states = net.run(
+        |v, _| MinRootBfs {
+            best: SourceInfo { dist: 0, source: v },
+            sent: None,
+        },
+        max_rounds,
+    )?;
+    let mut edges = EdgeSet::new(g);
+    for v in g.nodes() {
+        let info = states[v.index()].best;
+        if info.dist == 0 {
+            continue; // component root
+        }
+        // Parent: min-id neighbor one hop closer to the same root.
+        let parent = g
+            .neighbor_ids(v)
+            .filter(|w| {
+                let b = states[w.index()].best;
+                b.source == info.source && b.dist + 1 == info.dist
+            })
+            .min()
+            .expect("BFS parent exists");
+        edges.insert(g.find_edge(v, parent).expect("edge"));
+    }
+    Ok(Spanner {
+        edges,
+        metrics: Some(net.metrics()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators;
+
+    #[test]
+    fn forest_size_and_spanning() {
+        let g = generators::connected_gnm(200, 800, 3);
+        let s = build(&g);
+        assert!(s.is_spanning(&g));
+        assert_eq!(s.len(), 199);
+    }
+
+    #[test]
+    fn forest_on_disconnected() {
+        let g = spanner_graph::Graph::from_edges(7, [(0u32, 1), (1, 2), (4, 5), (5, 6)]);
+        let s = build(&g);
+        assert!(s.is_spanning(&g));
+        assert_eq!(s.len(), 4); // 2 + 2 edges; node 3 isolated
+    }
+
+    #[test]
+    fn tree_distance_is_exact_from_root() {
+        // On a tree the forest is the whole tree: stretch 1.
+        let g = generators::path(30);
+        let s = build(&g);
+        let r = s.stretch_exact(&g);
+        assert_eq!(r.max_multiplicative, 1.0);
+    }
+
+    #[test]
+    fn distortion_can_reach_diameter_scale() {
+        let g = generators::cycle(40);
+        let s = build(&g);
+        assert_eq!(s.len(), 39);
+        let r = s.stretch_exact(&g);
+        // Adjacent pair across the cut has spanner distance 39.
+        assert_eq!(r.max_multiplicative, 39.0);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let g = generators::connected_gnm(150, 500, 9);
+        let seq = build(&g);
+        let dist = build_distributed(&g, 1, 400).unwrap();
+        assert!(dist.is_spanning(&g));
+        assert_eq!(dist.len(), seq.len());
+        // Same root election (min id) and same min-id parent rule: the two
+        // forests are identical.
+        assert_eq!(dist.edges, seq.edges);
+        assert_eq!(dist.metrics.unwrap().max_message_words, 2);
+    }
+
+    #[test]
+    fn distributed_on_disconnected() {
+        let g = spanner_graph::Graph::from_edges(6, [(0u32, 1), (3, 4), (4, 5)]);
+        let s = build_distributed(&g, 2, 64).unwrap();
+        assert!(s.is_spanning(&g));
+        assert_eq!(s.len(), 3);
+    }
+}

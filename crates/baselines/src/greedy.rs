@@ -1,0 +1,121 @@
+//! The greedy (2k−1)-spanner of Althöfer et al. \[4\].
+//!
+//! Scan the edges; add `{u, v}` to the spanner iff the current spanner
+//! distance between `u` and `v` exceeds 2k−1. The result has girth > 2k,
+//! hence (by the Moore bound) size O(n^{1+1/k}), and is a (2k−1)-spanner by
+//! construction.
+//!
+//! At `k = ⌈log₂ n⌉` this is the classical **linear-size skeleton** with
+//! O(log n) stretch — the centralized equivalent of the Dubhashi et al.
+//! \[18\] row in the paper's Fig. 1 (see DESIGN.md §4: their distributed
+//! algorithm may ship the whole topology to one vertex and run exactly this
+//! kind of girth-based computation, which is why the paper develops the
+//! contraction-based alternative).
+
+use spanner_graph::girth::girth_exceeds;
+use spanner_graph::traversal::bfs_distances_in_subgraph;
+use spanner_graph::{EdgeSet, Graph};
+use ultrasparse::Spanner;
+
+/// Builds the greedy (2k−1)-spanner. Deterministic (edge insertion order).
+///
+/// O(m · n)-ish worst case (one bounded BFS per edge); intended for
+/// baseline comparisons up to ~10⁵ edges.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn build(g: &Graph, k: u32) -> Spanner {
+    assert!(k >= 1, "k must be at least 1");
+    let threshold = 2 * k - 1; // add edge iff current distance > 2k-1
+    let mut edges = EdgeSet::new(g);
+    let mut adj: Vec<Vec<spanner_graph::NodeId>> = vec![Vec::new(); g.node_count()];
+    for (e, u, v) in g.edges() {
+        // Distance between u and v in the current spanner, bounded search.
+        let d = bfs_distances_in_subgraph(&adj, u, threshold);
+        if d[v.index()].is_none() {
+            edges.insert(e);
+            adj[u.index()].push(v);
+            adj[v.index()].push(u);
+        }
+    }
+    Spanner::from_edges(edges)
+}
+
+/// The linear-size skeleton instance: greedy with k = ⌈log₂ n⌉, giving an
+/// O(log n)-spanner with O(n) edges (girth > 2 log n ⇒ < n + n^{1+1/log n}
+/// ≈ 3n edges). Stands in for the Dubhashi et al. \[18\] Fig. 1 row.
+pub fn linear_size_skeleton(g: &Graph) -> Spanner {
+    let k = (g.node_count().max(2) as f64).log2().ceil() as u32;
+    build(g, k.max(1))
+}
+
+/// Whether `s` has girth exceeding `2k` — the structural guarantee of the
+/// greedy construction, exposed for tests and the E1 table.
+pub fn has_greedy_girth(g: &Graph, s: &Spanner, k: u32) -> bool {
+    let sub = s.edges.to_graph(g);
+    girth_exceeds(&sub, 2 * k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators;
+
+    #[test]
+    fn stretch_and_girth_guarantees() {
+        for k in [1u32, 2, 3] {
+            let g = generators::connected_gnm(150, 2_000, k as u64);
+            let s = build(&g, k);
+            assert!(s.is_spanning(&g));
+            let r = s.stretch_exact(&g);
+            assert!(
+                r.satisfies_multiplicative((2 * k - 1) as f64),
+                "k={k}: {}",
+                r.max_multiplicative
+            );
+            assert!(has_greedy_girth(&g, &s, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k1_keeps_everything() {
+        let g = generators::erdos_renyi_gnm(60, 300, 2);
+        let s = build(&g, 1);
+        assert_eq!(s.len(), g.edge_count());
+    }
+
+    #[test]
+    fn size_bound_k2() {
+        // Girth > 4 implies size <= (1/2)(1 + sqrt(4n-3)) * n / 2 ~ n^{3/2}.
+        let n = 500usize;
+        let g = generators::connected_gnm(n, 20_000, 3);
+        let s = build(&g, 2);
+        let bound = 0.5 * (n as f64) * (1.0 + ((4 * n - 3) as f64).sqrt()) / 2.0 + n as f64;
+        assert!((s.len() as f64) < bound, "{} vs {bound}", s.len());
+    }
+
+    #[test]
+    fn linear_size_skeleton_is_linear() {
+        let n = 1_000usize;
+        let g = generators::connected_gnm(n, 30_000, 7);
+        let s = linear_size_skeleton(&g);
+        assert!(s.is_spanning(&g));
+        assert!(
+            s.len() < 3 * n,
+            "linear skeleton has {} edges on {n} nodes",
+            s.len()
+        );
+        let r = s.stretch_sampled(&g, 300, 1);
+        let bound = 2.0 * (n as f64).log2().ceil() - 1.0;
+        assert!(r.max_multiplicative <= bound);
+        assert_eq!(r.disconnected, 0);
+    }
+
+    #[test]
+    fn tree_inputs_unchanged() {
+        let g = generators::path(40);
+        let s = build(&g, 3);
+        assert_eq!(s.len(), 39);
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline spanner algorithms from the paper's Fig. 1.
+//!
+//! Pettie (PODC 2008) compares against the prior state of the art; this
+//! crate implements those comparison rows:
+//!
+//! * [`baswana_sen`] — the randomized (2k−1)-spanner of Baswana & Sen
+//!   \[10\], sequential and distributed; instrumented to reproduce the size
+//!   correction the paper makes (O(kn + log k·n^{1+1/k}), Sect. 2),
+//! * [`baswana_sen_weighted`] — the weighted version (least-weight edge
+//!   selection), the row Fig. 1 calls optimal in all respects,
+//! * [`greedy`] — the classical greedy (2k−1)-spanner of Althöfer et al.
+//!   \[4\] (girth > 2k); at k = Θ(log n) this is the canonical linear-size
+//!   O(log n)-spanner, the centralized equivalent of Dubhashi et al. \[18\]
+//!   (whose Fig. 1 row it stands in for — see DESIGN.md §4),
+//! * [`bfs_skeleton`] — the trivial anchor: a BFS spanning forest
+//!   (connectivity-only skeleton, n − 1 edges, distortion up to the
+//!   diameter),
+//! * [`additive2`] — the additive 2-spanner of Aingworth et al. \[3\]
+//!   (size O(n^{3/2} log^{1/2} n)), the construction whose distributed
+//!   version Theorem 5 rules out,
+//! * [`streaming`] — an online (2k−1)-spanner over an edge stream with the
+//!   O(n^{1+1/k}) memory profile of Baswana \[5\] / Elkin \[21\]
+//!   (related work, Sect. 1.4).
+
+pub mod additive2;
+pub mod baswana_sen;
+pub mod baswana_sen_weighted;
+pub mod bfs_skeleton;
+pub mod greedy;
+pub mod streaming;

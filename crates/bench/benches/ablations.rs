@@ -1,0 +1,55 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//!
+//! * **contraction** — the skeleton with vs without inter-round
+//!   contraction (the mechanism that keeps the size linear); the bench
+//!   also asserts the size gap so a regression in either variant trips it,
+//! * **girth-based vs clustering-based** linear skeletons — the
+//!   O(n·m)-ish greedy versus the near-linear Expand pipeline, the
+//!   tradeoff that motivates Sect. 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use spanner_baselines::greedy;
+use spanner_graph::generators;
+use ultrasparse::skeleton::{build_sequential, build_sequential_no_contraction, SkeletonParams};
+
+fn bench_contraction_ablation(c: &mut Criterion) {
+    let g = generators::connected_gnm(8_000, 64_000, 42);
+    let params = SkeletonParams::default();
+
+    let with = build_sequential(&g, &params, 3);
+    let without = build_sequential_no_contraction(&g, &params, 3);
+    assert!(
+        without.len() > with.len(),
+        "contraction must reduce the size: {} vs {}",
+        with.len(),
+        without.len()
+    );
+
+    let mut group = c.benchmark_group("contraction_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("skeleton_with_contraction_8k", |b| {
+        b.iter(|| build_sequential(&g, &params, 3))
+    });
+    group.bench_function("skeleton_no_contraction_8k", |b| {
+        b.iter(|| build_sequential_no_contraction(&g, &params, 3))
+    });
+    group.finish();
+}
+
+fn bench_girth_vs_clustering(c: &mut Criterion) {
+    let g = generators::connected_gnm(2_000, 16_000, 7);
+    let params = SkeletonParams::default();
+    let mut group = c.benchmark_group("linear_skeleton_2k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("clustering", |b| {
+        b.iter(|| build_sequential(&g, &params, 3))
+    });
+    group.bench_function("girth_greedy", |b| b.iter(|| greedy::linear_size_skeleton(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_contraction_ablation, bench_girth_vs_clustering);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! One binary per experiment (see EXPERIMENTS.md for the index); this
+//! library holds the shared pieces: a markdown table printer, the standard
+//! workloads, wall-clock timing, and a `--quick` mode so CI can smoke-test
+//! every experiment cheaply.
+//!
+//! Run an experiment with e.g.
+//!
+//! ```text
+//! cargo run --release -p spanner-bench --bin fig1_table
+//! cargo run --release -p spanner-bench --bin exp_skeleton_size -- --quick
+//! ```
+
+use std::time::Instant;
+
+use spanner_graph::Graph;
+
+/// Whether the process was invoked with `--quick` (smaller instances).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Picks the quick or full value depending on [`quick_mode`].
+pub fn scaled<T: Copy>(full: T, quick: T) -> T {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// A simple aligned markdown table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let mut width: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], width: &[usize], out: &mut String| {
+            out.push('|');
+            for (c, w) in cells.iter().zip(width) {
+                out.push(' ');
+                out.push_str(c);
+                out.push_str(&" ".repeat(w - c.len() + 1));
+                out.push('|');
+            }
+            out.push('\n');
+        };
+        line(&self.header, &width, &mut out);
+        out.push('|');
+        for w in &width {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &width, &mut out);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// The standard random workload of the experiment suite: a connected
+/// G(n, m) graph with m = `density` · n edges.
+pub fn workload(n: usize, density: f64, seed: u64) -> Graph {
+    let m = ((n as f64) * density) as usize;
+    spanner_graph::generators::connected_gnm(n, m.max(n - 1), seed)
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_aligned() {
+        let mut t = Table::new(["a", "long header", "x"]);
+        t.row(["1", "2", "3"]);
+        t.row(["wide cell", "4", "5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length (aligned).
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("| long header |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn workload_connected() {
+        let g = workload(200, 3.0, 1);
+        assert_eq!(g.node_count(), 200);
+        assert!(g.edge_count() >= 199);
+        assert!(spanner_graph::components::is_connected(&g));
+    }
+
+    #[test]
+    fn timing_positive() {
+        let (v, secs) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2344), "1.234");
+    }
+}

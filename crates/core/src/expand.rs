@@ -1,0 +1,288 @@
+//! The `Expand` decision rule (Fig. 2) and the edge-contribution analysis
+//! of Lemma 6.
+//!
+//! `Expand(G_in, C_in, p)` samples each cluster with probability `p`; a
+//! vertex `v` in cluster `C_0` adjacent to clusters `C_1, …, C_q`
+//!
+//! * stays (contributing 0 edges) if `C_0` is sampled,
+//! * joins a sampled neighbor cluster (contributing 1 edge, line 4),
+//! * otherwise contributes one edge to **each** adjacent cluster and dies
+//!   (line 7).
+//!
+//! [`ClusterSampler`] makes the sampling decisions a pure function of
+//! (seed, cluster center, call index), which is exactly the trick Theorem 2
+//! uses to distribute them: *"Before the first round of communication every
+//! vertex performs the sampling steps (line 1) in all calls to Expand"* —
+//! every vertex that knows its cluster's center id can evaluate the same
+//! function locally. The sequential and distributed implementations share
+//! this sampler.
+//!
+//! The module also implements the X^t_p recurrence of Lemma 6 — the
+//! worst-case expected number of edges a single vertex contributes over `t`
+//! calls with sampling probability `p` — both exactly (numeric maximization
+//! of the recurrence) and via the closed-form bound
+//! `p^{-1}(ln(t+1) − ζ) + t`, `ζ = ln 2 − 1/e`. Experiment E10 compares a
+//! Monte-Carlo adversary against both.
+
+use spanner_graph::NodeId;
+
+use crate::cluster::ClusterId;
+
+/// Deterministic cluster sampling: a pure function of
+/// (seed, cluster center, call index).
+///
+/// Both implementations of the skeleton algorithm draw their sampling
+/// decisions from here, so a cluster's fate in call `k` is decided "up
+/// front" and any vertex that knows the cluster's center can recompute it —
+/// no communication needed (Theorem 2's first observation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSampler {
+    seed: u64,
+}
+
+impl ClusterSampler {
+    /// A sampler with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        ClusterSampler { seed }
+    }
+
+    /// A uniform value in [0, 1) for (center, call), deterministic.
+    pub fn uniform(&self, center: NodeId, call: u32) -> f64 {
+        let mut s = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((center.0 as u64) << 32) | call as u64);
+        let x = spanner_netsim::rng::splitmix64(&mut s);
+        // 53 random bits -> [0, 1)
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether the cluster centered at `center` is sampled in call `call`
+    /// with probability `p`.
+    pub fn sampled(&self, center: NodeId, call: u32, p: f64) -> bool {
+        p > 0.0 && self.uniform(center, call) < p
+    }
+}
+
+/// The fate of one supervertex in one `Expand` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The vertex's own cluster was sampled: it stays put.
+    Stay,
+    /// The vertex joins the sampled cluster with this id (line 4).
+    Join(ClusterId),
+    /// No incident cluster sampled: the vertex dies (line 7).
+    Die,
+}
+
+/// The exact X^t_p of Lemma 6: the maximum over adversarial q_1, …, q_t of
+/// the expected number of edges contributed by one vertex across `t` calls
+/// to `Expand` with sampling probability `p`.
+///
+/// Computed by iterating the recurrence
+/// `X^t_p = max_q [ X^{t−1}_p + (1−p) + (q − 1 − X^{t−1}_p)(1−p)^{q+1} ]`
+/// over integer q (the maximizer is near `−1/ln(1−p) + 1 + X^{t−1}_p`, and
+/// the scan window covers it).
+///
+/// # Panics
+///
+/// Panics if `p` is not in (0, 1].
+pub fn x_t_p(p: f64, t: u32) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    if p >= 1.0 {
+        // Everything is always sampled: nobody ever contributes an edge?
+        // Not quite: with p = 1, C_0 is always sampled, so X = 0.
+        return 0.0;
+    }
+    let q1m = 1.0 - p;
+    let mut x = 0.0f64;
+    for _ in 0..t {
+        // Maximize f(q) = x + (1-p) + (q - 1 - x) (1-p)^{q+1} over q >= 0.
+        let q_star = -1.0 / q1m.ln() + 1.0 + x;
+        let hi = q_star.ceil() as i64 + 2;
+        let mut best = f64::NEG_INFINITY;
+        for q in 0..=hi.max(2) {
+            let qf = q as f64;
+            let val = x + q1m + (qf - 1.0 - x) * q1m.powf(qf + 1.0);
+            if val > best {
+                best = val;
+            }
+        }
+        x = best;
+    }
+    x
+}
+
+/// Euler–Mascheroni-style constant of Lemma 6: ζ = ln 2 − 1/e ≈ 0.325.
+pub const ZETA: f64 = 0.325_267_739_388_502_95;
+
+/// The closed-form upper bound of Lemma 6, Eq. (4):
+/// `X^t_p ≤ p^{-1}(ln(t+1) − ζ) + t`.
+pub fn x_t_p_bound(p: f64, t: u32) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    ((t as f64 + 1.0).ln() - ZETA) / p + t as f64
+}
+
+/// Monte-Carlo estimate of the adversarial edge contribution: simulates
+/// `trials` independent vertices facing the adversarial q-sequence implied
+/// by the exact recurrence, returning the mean number of contributed edges.
+/// Used by experiment E10 to validate the analysis empirically.
+pub fn x_t_p_monte_carlo(p: f64, t: u32, trials: u32, seed: u64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    // Recover the adversarial q_k sequence: q chosen at step k maximizes
+    // given the remaining horizon; by the recurrence's structure the
+    // maximizer at step k (with t−k steps remaining AFTER it) uses
+    // X^{t-k}_p. Precompute X^j for j = 0..t.
+    let q1m = 1.0 - p;
+    let mut xs = vec![0.0f64; t as usize + 1];
+    for j in 1..=t as usize {
+        let x = xs[j - 1];
+        let q_star = -1.0 / q1m.ln() + 1.0 + x;
+        let hi = (q_star.ceil() as i64 + 2).max(2);
+        let (mut best, mut _bestq) = (f64::NEG_INFINITY, 0i64);
+        for q in 0..=hi {
+            let qf = q as f64;
+            let val = x + q1m + (qf - 1.0 - x) * q1m.powf(qf + 1.0);
+            if val > best {
+                best = val;
+                _bestq = q;
+            }
+        }
+        xs[j] = best;
+    }
+    // The adversary at the call with j steps remaining picks the argmax q.
+    let mut qseq = Vec::with_capacity(t as usize);
+    for j in (1..=t as usize).rev() {
+        let x = xs[j - 1];
+        let q_star = -1.0 / q1m.ln() + 1.0 + x;
+        let hi = (q_star.ceil() as i64 + 2).max(2);
+        let (mut best, mut bestq) = (f64::NEG_INFINITY, 0i64);
+        for q in 0..=hi {
+            let qf = q as f64;
+            let val = x + q1m + (qf - 1.0 - x) * q1m.powf(qf + 1.0);
+            if val > best {
+                best = val;
+                bestq = q;
+            }
+        }
+        qseq.push(bestq as u64);
+    }
+
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut total_edges = 0u64;
+    for _ in 0..trials {
+        for &q in &qseq {
+            // C_0 sampled?
+            if rng.gen::<f64>() < p {
+                continue; // stays, 0 edges
+            }
+            // Any of the q neighbors sampled?
+            let mut any = false;
+            for _ in 0..q {
+                if rng.gen::<f64>() < p {
+                    any = true;
+                    break;
+                }
+            }
+            if any {
+                total_edges += 1; // joins
+            } else {
+                total_edges += q; // dies
+                break;
+            }
+        }
+    }
+    total_edges as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_deterministic_and_uniform() {
+        let s = ClusterSampler::new(7);
+        assert_eq!(s.uniform(NodeId(3), 1), s.uniform(NodeId(3), 1));
+        assert_ne!(s.uniform(NodeId(3), 1), s.uniform(NodeId(3), 2));
+        assert_ne!(s.uniform(NodeId(3), 1), s.uniform(NodeId(4), 1));
+        // Empirical mean of uniforms is ~0.5.
+        let mean: f64 = (0..10_000)
+            .map(|i| s.uniform(NodeId(i), 0))
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn sampler_probability_matches() {
+        let s = ClusterSampler::new(12);
+        let p = 0.25;
+        let hits = (0..20_000u32)
+            .filter(|&i| s.sampled(NodeId(i), 5, p))
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - p).abs() < 0.02, "rate {rate}");
+        // p = 0 never samples.
+        assert!(!s.sampled(NodeId(0), 0, 0.0));
+    }
+
+    #[test]
+    fn x_recurrence_base_case() {
+        // X^1_p < (1 − 2/e) + 1/(e p)  (Eq. 3).
+        for &p in &[0.5, 0.25, 0.1, 0.01] {
+            let x1 = x_t_p(p, 1);
+            let bound = 1.0 - 2.0 / std::f64::consts::E + 1.0 / (std::f64::consts::E * p);
+            assert!(x1 <= bound + 1e-9, "p={p}: {x1} vs {bound}");
+            assert!(x1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn x_recurrence_below_closed_form() {
+        // Eq. (4): X^t_p ≤ p^{-1}(ln(t+1) − ζ) + t for all t ≥ 1.
+        for &p in &[0.5, 0.25, 0.1] {
+            for t in 1..=30 {
+                let exact = x_t_p(p, t);
+                let bound = x_t_p_bound(p, t);
+                assert!(
+                    exact <= bound + 1e-9,
+                    "p={p} t={t}: exact {exact} > bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x_monotone_in_t() {
+        let mut last = 0.0;
+        for t in 1..=10 {
+            let x = x_t_p(0.2, t);
+            assert!(x >= last);
+            last = x;
+        }
+    }
+
+    #[test]
+    fn x_p_one_is_zero() {
+        assert_eq!(x_t_p(1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_close_to_recurrence() {
+        let p = 0.25;
+        let t = 6;
+        let exact = x_t_p(p, t);
+        let mc = x_t_p_monte_carlo(p, t, 60_000, 11);
+        assert!(
+            (mc - exact).abs() < 0.08 * exact.max(1.0),
+            "MC {mc} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn zeta_value() {
+        assert!((ZETA - (2f64.ln() - 1.0 / std::f64::consts::E)).abs() < 1e-12);
+    }
+}

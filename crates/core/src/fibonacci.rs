@@ -1,0 +1,32 @@
+//! Fibonacci spanners (Sect. 4).
+//!
+//! A Fibonacci spanner is built from a hierarchy of sampled vertex sets
+//! `V = V_0 ⊇ V_1 ⊇ … ⊇ V_o ⊇ V_{o+1} = ∅` and connects
+//!
+//! * every `v` to its nearest level-i vertex `p_i(v)` when
+//!   `δ(v, p_i(v)) ≤ ℓ^{i-1}` (the parent forests), and
+//! * every `v ∈ V_{i-1}` by shortest paths to every `u ∈ B_{i+1,ℓ}(v)` —
+//!   the level-i vertices within distance `min(ℓ^i, δ(v, V_{i+1}) − 1)`.
+//!
+//! The sampling probabilities solve Fibonacci-like recurrences (Lemma 8),
+//! balancing all levels at size ≈ n^{1 + 1/(F_{o+3}−1)} ℓ^φ, with
+//! φ = (1+√5)/2 the golden ratio. The distortion analysis (Lemmas 9–10,
+//! Theorem 7) yields a per-distance envelope with four stages: O(2^o) for
+//! tiny distances, O(o) at distance 2^o, tending to 3 at distance λ^o, and
+//! tending to 1+ε past (3o/ε)^o.
+//!
+//! * [`params`] — sampling probabilities and the Sect. 4.4 message-bound
+//!   rescaling,
+//! * [`analysis`] — the C/I recurrences and closed forms, as an executable
+//!   distortion envelope,
+//! * [`sequential`] — the centralized construction,
+//! * [`distributed`] — the Sect. 4.4 protocol with O(n^{1/t})-word
+//!   messages, cessation, and Las Vegas repair.
+
+pub mod analysis;
+pub mod distributed;
+pub mod params;
+pub mod sequential;
+
+pub use params::FibonacciParams;
+pub use sequential::build_sequential;

@@ -1,0 +1,303 @@
+//! Fibonacci spanner parameters: order, ball radius base, and the sampling
+//! probabilities of Lemma 8.
+//!
+//! Writing `q_i = n^{−f_i α} ℓ^{−g_i φ + h_i}`, the requirement that all
+//! levels contribute equal expected size forces the Fibonacci-like
+//! recurrences
+//!
+//! ```text
+//! f_0 = 0, f_1 = 1, f_i = f_{i−1} + f_{i−2} + 1        (f_i = F_{i+2} − 1)
+//! g_i = f_i                                            (g_i = F_{i+2} − 1)
+//! h_0 = h_1 = 0, h_i = h_{i−1} + h_{i−2} + (i − 1)     (h_i = F_{i+3} − (i+2))
+//! ```
+//!
+//! with `α = 1/(F_{o+3} − 1)` and the exponent of ℓ set to the golden
+//! ratio φ, so that `q_{o+1} = 1/n` closes the system (Lemma 8).
+//!
+//! Sect. 4.4's message-length adjustment is also here: if messages are
+//! capped at O(n^{1/t}) words, consecutive probabilities may be at ratio at
+//! most `n^{1/t}`; levels beyond the first violation are re-spaced
+//! geometrically at exactly that ratio, increasing the order by at most t.
+
+/// The golden ratio φ = (1 + √5)/2.
+pub const PHI: f64 = 1.618_033_988_749_895;
+
+/// The k-th Fibonacci number (F_0 = 0, F_1 = 1), saturating.
+pub fn fibonacci(k: u32) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..k {
+        let next = a.saturating_add(b);
+        a = b;
+        b = next;
+    }
+    a
+}
+
+/// Parameters of a Fibonacci spanner construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FibonacciParams {
+    /// Number of nodes the parameters were derived for.
+    pub n: usize,
+    /// The order o: number of sampled levels (Sect. 4.1). Higher order =
+    /// sparser spanner, larger small-distance distortion.
+    pub order: u32,
+    /// ε: the asymptotic multiplicative stretch for huge distances is 1+ε.
+    pub epsilon: f64,
+    /// Message-length exponent t (messages of O(n^{1/t}) words in the
+    /// distributed construction); 0 means unbounded messages.
+    pub t: u32,
+    /// The ball radius base ℓ = 3(o + t)/ε + 2 (Theorems 7–8).
+    pub ell: u64,
+    /// Sampling probabilities `q_1, …, q_order` (q_0 = 1 and
+    /// q_{order+1} = 1/n are implicit).
+    pub q: Vec<f64>,
+}
+
+impl FibonacciParams {
+    /// Derives parameters for an `n`-node graph.
+    ///
+    /// `order` is clamped to `[1, ⌊log_φ log₂ n⌋]` (the paper's range; at
+    /// the top the spanner is sparsest). If `t > 0`, the Sect. 4.4
+    /// message-bound re-spacing is applied, which may raise the effective
+    /// order by up to `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `n < 4`, `epsilon ∉ (0, 1]`, or `order == 0`.
+    pub fn new(n: usize, order: u32, epsilon: f64, t: u32) -> Result<Self, String> {
+        if n < 4 {
+            return Err(format!("need n >= 4, got {n}"));
+        }
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(format!("epsilon must be in (0, 1], got {epsilon}"));
+        }
+        if order == 0 {
+            return Err("order must be at least 1".to_string());
+        }
+        let nf = n as f64;
+        let max_order = (nf.log2().max(2.0).ln() / PHI.ln()).floor().max(1.0) as u32;
+        let order = order.min(max_order);
+
+        let ell = (3.0 * (order + t) as f64 / epsilon + 2.0).ceil() as u64;
+
+        // Lemma 8 exponents.
+        let alpha = 1.0 / (fibonacci(order + 3) as f64 - 1.0);
+        let ellf = ell as f64;
+        let mut q: Vec<f64> = (1..=order)
+            .map(|i| {
+                let f = fibonacci(i + 2) as f64 - 1.0; // f_i = g_i
+                let h = fibonacci(i + 3) as f64 - (i as f64 + 2.0);
+                nf.powf(-f * alpha) * ellf.powf(-f * PHI + h)
+            })
+            .collect();
+        // Numeric safety: probabilities are in (0, 1], non-increasing.
+        for (i, p) in q.iter_mut().enumerate() {
+            *p = p.clamp(1.0 / nf, 1.0);
+            if i > 0 {
+                // clamp preserves monotonicity under fp noise
+            }
+        }
+        for i in 1..q.len() {
+            if q[i] > q[i - 1] {
+                q[i] = q[i - 1];
+            }
+        }
+
+        let mut params = FibonacciParams {
+            n,
+            order,
+            epsilon,
+            t,
+            ell,
+            q,
+        };
+        if t > 0 {
+            params.apply_message_bound();
+        }
+        Ok(params)
+    }
+
+    /// Sect. 4.4: re-spaces probabilities so consecutive ratios are at most
+    /// n^{1/t}, extending the level hierarchy by at most t levels.
+    fn apply_message_bound(&mut self) {
+        let nf = self.n as f64;
+        let max_ratio = nf.powf(1.0 / self.t as f64);
+        // Find the first index where the ratio q_i / q_{i+1} exceeds the
+        // cap (treat q_0 = 1 and q_{o+1} = 1/n as boundary levels).
+        let mut full: Vec<f64> = Vec::with_capacity(self.q.len() + 2);
+        full.push(1.0);
+        full.extend_from_slice(&self.q);
+        full.push(1.0 / nf);
+        let mut cut = None;
+        for i in 0..full.len() - 1 {
+            if full[i] / full[i + 1] > max_ratio * (1.0 + 1e-9) {
+                cut = Some(i);
+                break;
+            }
+        }
+        let Some(cut) = cut else {
+            return; // already compliant
+        };
+        // Keep full[..=cut], then descend geometrically at ratio n^{1/t}
+        // until reaching 1/n.
+        let mut rebuilt: Vec<f64> = full[1..=cut].to_vec();
+        let mut cur = full[cut];
+        loop {
+            cur /= max_ratio;
+            if cur <= 1.0 / nf * (1.0 + 1e-9) {
+                break;
+            }
+            rebuilt.push(cur);
+        }
+        self.order = rebuilt.len() as u32;
+        self.ell = (3.0 * (self.order + self.t) as f64 / self.epsilon + 2.0).ceil() as u64;
+        self.q = rebuilt;
+    }
+
+    /// Probability that a vertex belongs to level `i` (0 ≤ i ≤ order+1):
+    /// q_0 = 1, q_{order+1} = 0 (V_{o+1} = ∅).
+    pub fn level_probability(&self, i: u32) -> f64 {
+        match i {
+            0 => 1.0,
+            i if i <= self.order => self.q[i as usize - 1],
+            _ => 0.0,
+        }
+    }
+
+    /// Ball radius `ℓ^i` at level `i`, saturating.
+    pub fn ball_radius(&self, i: u32) -> u64 {
+        self.ell.saturating_pow(i)
+    }
+
+    /// The Lemma 8 size prediction `o·n + n^{1 + 1/(F_{o+3}−1)} ℓ^φ`
+    /// (expected number of spanner edges, up to the geometric-decay
+    /// constant of the final re-scaling step).
+    pub fn expected_size(&self) -> f64 {
+        let nf = self.n as f64;
+        let alpha = 1.0 / (fibonacci(self.order + 3) as f64 - 1.0);
+        self.order as f64 * nf + nf.powf(1.0 + alpha) * (self.ell as f64).powf(PHI)
+    }
+
+    /// Maximum order for an n-node graph: ⌊log_φ log₂ n⌋.
+    pub fn max_order(n: usize) -> u32 {
+        ((n.max(4) as f64).log2().ln() / PHI.ln()).floor().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fibonacci_numbers() {
+        let expect = [0u64, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        for (k, &f) in expect.iter().enumerate() {
+            assert_eq!(fibonacci(k as u32), f);
+        }
+        // Saturates rather than overflowing.
+        assert_eq!(fibonacci(200), u64::MAX);
+    }
+
+    #[test]
+    fn phi_identity() {
+        assert!((PHI * PHI - PHI - 1.0).abs() < 1e-12);
+    }
+
+    /// Lemma 8's closed forms: f_i = F_{i+2} − 1 and h_i = F_{i+3} − (i+2)
+    /// satisfy the stated recurrences.
+    #[test]
+    fn exponent_recurrences() {
+        let f = |i: u32| fibonacci(i + 2) as i64 - 1;
+        let h = |i: u32| fibonacci(i + 3) as i64 - (i as i64 + 2);
+        assert_eq!(f(0), 0);
+        assert_eq!(f(1), 1);
+        assert_eq!(h(0), 0);
+        assert_eq!(h(1), 0);
+        for i in 2..20 {
+            assert_eq!(f(i), f(i - 1) + f(i - 2) + 1, "f at {i}");
+            assert_eq!(h(i), h(i - 1) + h(i - 2) + (i as i64 - 1), "h at {i}");
+        }
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(FibonacciParams::new(3, 2, 0.5, 0).is_err());
+        assert!(FibonacciParams::new(100, 0, 0.5, 0).is_err());
+        assert!(FibonacciParams::new(100, 2, 0.0, 0).is_err());
+        assert!(FibonacciParams::new(100, 2, 2.0, 0).is_err());
+        let p = FibonacciParams::new(10_000, 2, 0.5, 0).unwrap();
+        assert_eq!(p.order, 2);
+        assert_eq!(p.ell, 14); // 3*2/0.5 + 2
+    }
+
+    #[test]
+    fn order_clamped_to_log_phi_log_n() {
+        let p = FibonacciParams::new(1_000, 50, 0.5, 0).unwrap();
+        assert_eq!(p.order, FibonacciParams::max_order(1_000));
+        assert!(p.order <= 5);
+    }
+
+    #[test]
+    fn probabilities_monotone_and_valid() {
+        for n in [100usize, 10_000, 1_000_000] {
+            for o in 1..=FibonacciParams::max_order(n) {
+                let p = FibonacciParams::new(n, o, 0.5, 0).unwrap();
+                assert_eq!(p.q.len(), p.order as usize);
+                let mut last = 1.0f64;
+                for (i, &qi) in p.q.iter().enumerate() {
+                    assert!(qi > 0.0 && qi <= 1.0, "n={n} o={o} q[{i}]={qi}");
+                    assert!(qi <= last + 1e-12, "not monotone at {i}");
+                    last = qi;
+                }
+                assert!(p.level_probability(0) == 1.0);
+                assert!(p.level_probability(p.order + 1) == 0.0);
+            }
+        }
+    }
+
+    /// q_1 = n^{-α} ℓ^{-φ} per Lemma 8 (f_1 = g_1 = 1, h_1 = 0).
+    #[test]
+    fn q1_closed_form() {
+        let n = 10_000usize;
+        let p = FibonacciParams::new(n, 3, 0.5, 0).unwrap();
+        let alpha = 1.0 / (fibonacci(6) as f64 - 1.0); // F_6 = 8
+        let expect = (n as f64).powf(-alpha) * (p.ell as f64).powf(-PHI);
+        assert!((p.q[0] - expect).abs() < 1e-12 * expect.max(1e-12));
+    }
+
+    #[test]
+    fn message_bound_respaces() {
+        let n = 10_000usize;
+        let unbounded = FibonacciParams::new(n, 3, 0.5, 0).unwrap();
+        let bounded = FibonacciParams::new(n, 3, 0.5, 4).unwrap();
+        // The bounded variant never exceeds ratio n^{1/4} between levels.
+        let cap = (n as f64).powf(0.25) * (1.0 + 1e-6);
+        let mut full = vec![1.0];
+        full.extend_from_slice(&bounded.q);
+        full.push(1.0 / n as f64);
+        for w in full.windows(2) {
+            assert!(w[0] / w[1] <= cap, "ratio {} exceeds cap {cap}", w[0] / w[1]);
+        }
+        // Order grows by at most t.
+        assert!(bounded.order <= unbounded.order + 4);
+        assert!(bounded.order >= unbounded.order);
+    }
+
+    #[test]
+    fn ball_radius_powers() {
+        let p = FibonacciParams::new(10_000, 2, 0.5, 0).unwrap();
+        assert_eq!(p.ball_radius(0), 1);
+        assert_eq!(p.ball_radius(1), p.ell);
+        assert_eq!(p.ball_radius(2), p.ell * p.ell);
+    }
+
+    #[test]
+    fn expected_size_near_linear_at_max_order() {
+        let n = 1_000_000usize;
+        let o = FibonacciParams::max_order(n);
+        let p = FibonacciParams::new(n, o, 0.5, 0).unwrap();
+        // At maximum order the size is n^{1+o(1)} * polylog factors; it
+        // should be well under n^1.2 for this n.
+        assert!(p.expected_size() < (n as f64).powf(1.2) * 100.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Connectivity: union-find and connected components.
+//!
+//! A correct spanner algorithm may only discard an edge it can prove lies on
+//! a cycle (Sect. 3 of the paper leans on this); the tests use these helpers
+//! to check that every spanner preserves connectivity component-by-component.
+
+use crate::edgeset::EdgeSet;
+use crate::graph::{Graph, NodeId};
+
+/// Disjoint-set union with path halving and union by size.
+///
+/// # Example
+///
+/// ```
+/// use spanner_graph::components::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0));
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(0, 2));
+/// assert_eq!(uf.count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    count: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            count: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.count -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+/// Component labels for every node (`labels[v]` in `0..component_count`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Dense component label per node.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Whether `u` and `v` are in the same component.
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+}
+
+/// Connected components of `g`.
+pub fn connected_components(g: &Graph) -> Components {
+    let mut uf = UnionFind::new(g.node_count());
+    for (_, u, v) in g.edges() {
+        uf.union(u.index(), v.index());
+    }
+    canonicalize(&mut uf, g.node_count())
+}
+
+/// Connected components of the subgraph of `g` given by `span`.
+pub fn subgraph_components(g: &Graph, span: &EdgeSet) -> Components {
+    let mut uf = UnionFind::new(g.node_count());
+    for e in span.iter() {
+        let (u, v) = g.endpoints(e);
+        uf.union(u.index(), v.index());
+    }
+    canonicalize(&mut uf, g.node_count())
+}
+
+/// `true` iff `g` is connected (the empty and 1-node graphs count as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).count <= 1
+}
+
+/// `true` iff `span` connects everything `g` connects, i.e. the subgraph has
+/// exactly the same connected components as the host graph. This is the
+/// minimal correctness requirement on any spanner ("at the very least the
+/// substitute should preserve connectivity").
+pub fn preserves_connectivity(g: &Graph, span: &EdgeSet) -> bool {
+    let cg = connected_components(g);
+    let cs = subgraph_components(g, span);
+    // The subgraph refines the host partition; equality of counts per host
+    // component implies equality of the partitions.
+    cg.count == cs.count
+}
+
+fn canonicalize(uf: &mut UnionFind, n: usize) -> Components {
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        let r = uf.find(v);
+        if labels[r] == u32::MAX {
+            labels[r] = next;
+            next += 1;
+        }
+        labels[v] = labels[r];
+    }
+    Components {
+        labels,
+        count: next as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeSet, Graph};
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.count(), 5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.count(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 3));
+        assert_eq!(uf.set_size(4), 2);
+        uf.union(1, 4);
+        assert_eq!(uf.set_size(0), 4);
+    }
+
+    #[test]
+    fn components_of_two_paths() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert!(c.same(NodeId(0), NodeId(2)));
+        assert!(!c.same(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn is_connected_cases() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+        assert!(is_connected(&Graph::from_edges(3, [(0, 1), (1, 2)])));
+    }
+
+    #[test]
+    fn spanning_subgraph_preserves_connectivity() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let mut s = EdgeSet::new(&g);
+        // spanning tree: 0-1, 1-2, 2-3
+        for (e, u, v) in g.edges() {
+            if (u.0, v.0) != (0, 2) && (u.0, v.0) != (0, 3) {
+                s.insert(e);
+            }
+        }
+        assert!(preserves_connectivity(&g, &s));
+        let empty = EdgeSet::new(&g);
+        assert!(!preserves_connectivity(&g, &empty));
+    }
+
+    #[test]
+    fn disconnected_host_preserved_per_component() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let mut s = EdgeSet::new(&g);
+        for (e, _, _) in g.edges() {
+            s.insert(e);
+        }
+        assert!(preserves_connectivity(&g, &s));
+        s.remove(crate::EdgeId(2)); // cut 3-4
+        assert!(!preserves_connectivity(&g, &s));
+    }
+}

@@ -1,0 +1,244 @@
+//! Exact and sampled distance computations.
+//!
+//! The experiments compare distances in a spanner against distances in the
+//! host graph for many pairs; this module provides the machinery: exact APSP
+//! via repeated BFS (fine up to a few thousand nodes), seeded pair sampling
+//! for larger graphs, eccentricities and diameter (exact and the classic
+//! two-sweep lower bound).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::bfs_distances;
+
+/// All-pairs shortest path distances, `u32::MAX` for unreachable pairs.
+///
+/// Runs `n` BFS passes: O(n(n+m)) time, O(n²) space. Intended for
+/// verification on graphs up to a few thousand nodes.
+#[derive(Debug, Clone)]
+pub struct Apsp {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+/// Sentinel distance for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl Apsp {
+    /// Computes APSP on `g` by repeated BFS.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = vec![UNREACHABLE; n * n];
+        for s in g.nodes() {
+            let d = bfs_distances(g, s);
+            let row = &mut dist[s.index() * n..(s.index() + 1) * n];
+            for (v, dv) in d.iter().enumerate() {
+                if let Some(x) = dv {
+                    row[v] = *x;
+                }
+            }
+        }
+        Apsp { n, dist }
+    }
+
+    /// Distance between `u` and `v` (`UNREACHABLE` if disconnected).
+    #[inline]
+    pub fn dist(&self, u: NodeId, v: NodeId) -> u32 {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum finite distance (the diameter of the largest component by
+    /// distance, i.e. the graph diameter if connected). `None` if there are
+    /// no finite distances between distinct nodes.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut best = None;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let d = self.dist[i * self.n + j];
+                if d != UNREACHABLE {
+                    best = Some(best.map_or(d, |b: u32| b.max(d)));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Eccentricity of `v`: max distance from `v` to any reachable node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Exact diameter by n BFS runs; `None` for graphs with < 2 nodes.
+/// For disconnected graphs, returns the max eccentricity over components.
+pub fn diameter_exact(g: &Graph) -> Option<u32> {
+    if g.node_count() < 2 {
+        return None;
+    }
+    g.nodes().map(|v| eccentricity(g, v)).max()
+}
+
+/// Two-sweep diameter lower bound: BFS from `start`, then BFS from the
+/// farthest node found. Exact on trees, a good estimate in general.
+pub fn diameter_two_sweep(g: &Graph, start: NodeId) -> u32 {
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter_map(|(v, d)| d.map(|x| (x, v)))
+        .max()
+        .map(|(_, v)| NodeId(v as u32));
+    match far {
+        Some(f) => eccentricity(g, f),
+        None => 0,
+    }
+}
+
+/// A sampled pair of distinct nodes together with its exact host-graph
+/// distance (finite; disconnected pairs are skipped during sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledPair {
+    /// First endpoint.
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Exact distance in the host graph.
+    pub dist: u32,
+}
+
+/// Samples up to `count` connected node pairs uniformly at random (with a
+/// deterministic seed) and records their exact host distances.
+///
+/// Pairs in tiny or heavily disconnected graphs may be fewer than `count`:
+/// sampling stops after `16 * count` failed attempts.
+pub fn sample_pairs(g: &Graph, count: usize, seed: u64) -> Vec<SampledPair> {
+    let n = g.node_count();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut budget = 16 * count.max(1);
+    // Group samples by source to amortize BFS runs.
+    let mut by_source: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+    let mut picks: Vec<(NodeId, NodeId)> = Vec::new();
+    while picks.len() < count && budget > 0 {
+        budget -= 1;
+        let a = NodeId(rng.gen_range(0..n as u32));
+        let b = NodeId(rng.gen_range(0..n as u32));
+        if a != b {
+            picks.push((a, b));
+        }
+    }
+    picks.sort_unstable();
+    for (a, b) in picks {
+        match by_source.last_mut() {
+            Some((s, targets)) if *s == a => targets.push(b),
+            _ => by_source.push((a, vec![b])),
+        }
+    }
+    for (s, targets) in by_source {
+        let d = bfs_distances(g, s);
+        for t in targets {
+            if let Some(x) = d[t.index()] {
+                out.push(SampledPair { u: s, v: t, dist: x });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> Graph {
+        Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn apsp_on_cycle() {
+        let g = cycle(8);
+        let a = Apsp::new(&g);
+        assert_eq!(a.dist(NodeId(0), NodeId(4)), 4);
+        assert_eq!(a.dist(NodeId(0), NodeId(7)), 1);
+        assert_eq!(a.dist(NodeId(3), NodeId(3)), 0);
+        assert_eq!(a.diameter(), Some(4));
+    }
+
+    #[test]
+    fn apsp_symmetric() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (1, 4)]);
+        let a = Apsp::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(a.dist(u, v), a.dist(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let a = Apsp::new(&g);
+        assert_eq!(a.dist(NodeId(0), NodeId(2)), UNREACHABLE);
+        assert_eq!(a.diameter(), Some(1));
+    }
+
+    #[test]
+    fn diameter_exact_and_two_sweep_on_path() {
+        let g = Graph::from_edges(7, (0..6u32).map(|i| (i, i + 1)));
+        assert_eq!(diameter_exact(&g), Some(6));
+        // two-sweep is exact on trees, from any start
+        for v in g.nodes() {
+            assert_eq!(diameter_two_sweep(&g, v), 6);
+        }
+    }
+
+    #[test]
+    fn diameter_tiny() {
+        assert_eq!(diameter_exact(&Graph::empty(1)), None);
+        assert_eq!(diameter_exact(&Graph::empty(0)), None);
+    }
+
+    #[test]
+    fn eccentricity_center_of_path() {
+        let g = Graph::from_edges(5, (0..4u32).map(|i| (i, i + 1)));
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+        assert_eq!(eccentricity(&g, NodeId(0)), 4);
+    }
+
+    #[test]
+    fn sample_pairs_deterministic_and_exact() {
+        let g = cycle(20);
+        let s1 = sample_pairs(&g, 50, 7);
+        let s2 = sample_pairs(&g, 50, 7);
+        assert_eq!(s1, s2);
+        assert!(!s1.is_empty());
+        let a = Apsp::new(&g);
+        for p in &s1 {
+            assert_eq!(p.dist, a.dist(p.u, p.v));
+            assert_ne!(p.u, p.v);
+        }
+    }
+
+    #[test]
+    fn sample_pairs_skips_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        for p in sample_pairs(&g, 100, 3) {
+            assert!(p.dist <= 1);
+        }
+    }
+
+    #[test]
+    fn sample_pairs_tiny_graph() {
+        assert!(sample_pairs(&Graph::empty(1), 10, 1).is_empty());
+        assert!(sample_pairs(&Graph::empty(0), 10, 1).is_empty());
+    }
+}

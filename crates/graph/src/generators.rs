@@ -1,0 +1,597 @@
+//! Seeded random and structured graph generators.
+//!
+//! These are the workloads of the experiment suite. Every generator is
+//! deterministic in its `seed` argument; structured families take no seed.
+//!
+//! Random families:
+//! * [`erdos_renyi_gnp`] / [`erdos_renyi_gnm`] — the classic G(n, p) and
+//!   G(n, m) models (the main workload; the paper's guarantees hold for all
+//!   graphs, ER exercises the "typical" case),
+//! * [`random_regular`] — d-regular multigraph-free graphs via pairing with
+//!   retries (degree-homogeneous workloads),
+//! * [`preferential_attachment`] — Barabási–Albert style heavy-tailed degree
+//!   distributions (stress for the `q > 4 s_i ln n` abort rule of Thm. 2),
+//! * [`caveman`] — dense clusters with sparse inter-cluster links (stress
+//!   for clustering-based constructions).
+//!
+//! Structured families: [`path`], [`cycle`], [`star`], [`complete`],
+//! [`complete_bipartite`], [`grid`], [`torus`], [`hypercube`].
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Erdős–Rényi G(n, p): each of the n(n−1)/2 edges present independently
+/// with probability `p`.
+///
+/// Uses geometric skipping, so the cost is O(n + m) rather than O(n²).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut b = GraphBuilder::new(n);
+    if p > 0.0 && n >= 2 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if p >= 1.0 {
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    b.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+        } else {
+            // Iterate over the implicit list of all pairs with geometric jumps.
+            let total = n as u64 * (n as u64 - 1) / 2;
+            let log_q = (1.0 - p).ln();
+            let mut idx: u64 = 0;
+            loop {
+                let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let skip = (r.ln() / log_q).floor() as u64;
+                idx = idx.saturating_add(skip);
+                if idx >= total {
+                    break;
+                }
+                let (u, v) = pair_from_index(idx, n as u64);
+                b.add_edge(NodeId(u as u32), NodeId(v as u32));
+                idx += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Maps a linear index into the ordered list of pairs (u, v), u < v.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u ... solve by scan-free math:
+    // offset(u) = u*(2n - u - 1)/2. Invert with floating point then fix up.
+    let mut u = ((2.0 * n as f64 - 1.0
+        - ((2.0 * n as f64 - 1.0).powi(2) - 8.0 * idx as f64).sqrt())
+        / 2.0)
+        .floor() as u64;
+    // Guard against floating point error.
+    while offset(u + 1, n) <= idx {
+        u += 1;
+    }
+    while offset(u, n) > idx {
+        u -= 1;
+    }
+    let v = u + 1 + (idx - offset(u, n));
+    (u, v)
+}
+
+fn offset(u: u64, n: u64) -> u64 {
+    u * (2 * n - u - 1) / 2
+}
+
+/// Erdős–Rényi G(n, m): exactly `m` distinct edges chosen uniformly.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds n(n−1)/2.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let total = n as u64 * (n.saturating_sub(1)) as u64 / 2;
+    assert!(
+        (m as u64) <= total,
+        "m = {m} exceeds the {total} possible edges"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if m as u64 > total / 2 {
+        // Dense: sample which pairs to EXCLUDE via Floyd's algorithm.
+        let excl = floyd_sample(total, total - m as u64, &mut rng);
+        let mut excluded = excl;
+        excluded.sort_unstable();
+        let mut k = 0usize;
+        for idx in 0..total {
+            if k < excluded.len() && excluded[k] == idx {
+                k += 1;
+                continue;
+            }
+            let (u, v) = pair_from_index(idx, n as u64);
+            b.add_edge(NodeId(u as u32), NodeId(v as u32));
+        }
+    } else {
+        for idx in floyd_sample(total, m as u64, &mut rng) {
+            let (u, v) = pair_from_index(idx, n as u64);
+            b.add_edge(NodeId(u as u32), NodeId(v as u32));
+        }
+    }
+    b.build()
+}
+
+/// Floyd's algorithm: `k` distinct values from `0..total`.
+fn floyd_sample(total: u64, k: u64, rng: &mut SmallRng) -> Vec<u64> {
+    use std::collections::HashSet;
+    let mut set = HashSet::with_capacity(k as usize);
+    let mut out = Vec::with_capacity(k as usize);
+    for j in (total - k)..total {
+        let t = rng.gen_range(0..=j);
+        let pick = if set.contains(&t) { j } else { t };
+        set.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+/// A connected G(n, m)-style graph: a uniform random spanning tree plus
+/// `m − (n−1)` additional uniform edges. Handy when experiments need a
+/// connected workload.
+///
+/// # Panics
+///
+/// Panics if `m < n - 1` or `m` exceeds n(n−1)/2.
+pub fn connected_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 1, "need at least one node");
+    assert!(m + 1 >= n, "m = {m} too small to connect {n} nodes");
+    let total = n as u64 * (n.saturating_sub(1)) as u64 / 2;
+    assert!(m as u64 <= total, "m = {m} exceeds the {total} possible edges");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: std::collections::HashSet<(u32, u32)> =
+        std::collections::HashSet::with_capacity(m);
+    // Random spanning tree: random permutation, attach each node to a
+    // uniformly random earlier node (random recursive tree on shuffled ids).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let (a, b) = (order[i].min(order[j]), order[i].max(order[j]));
+        edges.insert((a, b));
+    }
+    // Extra edges, rejection-sampled to the requested total.
+    let mut extra_attempts = 0usize;
+    while edges.len() < m && extra_attempts < 64 * m + 1024 {
+        extra_attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        edges.insert((u.min(v), u.max(v)));
+    }
+    let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
+    sorted.sort_unstable();
+    Graph::from_edges(n, sorted)
+}
+
+/// Random d-regular graph via the pairing model with restarts; falls back to
+/// "nearly regular" (collisions dropped) after 64 failed attempts.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    assert!(d < n, "degree must be < n");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _attempt in 0..64 {
+        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut ok = true;
+        let mut edges = Vec::with_capacity(n * d / 2);
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let key = (u.min(v), u.max(v));
+            if u == v || !seen.insert(key) {
+                ok = false;
+                break;
+            }
+            edges.push((u, v));
+        }
+        if ok {
+            return Graph::from_edges(n, edges);
+        }
+    }
+    // Fallback: pairing with collisions silently dropped (nearly regular).
+    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    stubs.shuffle(&mut rng);
+    let edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    Graph::from_edges(n, edges)
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `k` existing nodes sampled proportionally to
+/// degree.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n < k + 1`.
+pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1, "attachment degree must be positive");
+    assert!(n > k, "need n > k");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Seed clique on k+1 nodes.
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * n * k);
+    for u in 0..=(k as u32) {
+        for v in (u + 1)..=(k as u32) {
+            b.add_edge(NodeId(u), NodeId(v));
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    for v in (k as u32 + 1)..(n as u32) {
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut guard = 0;
+        while chosen.len() < k && guard < 64 * k {
+            guard += 1;
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            chosen.insert(t);
+        }
+        for &t in &chosen {
+            b.add_edge(NodeId(v), NodeId(t));
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Connected caveman-style graph: `clusters` cliques of size `size`, each
+/// cluster joined to the next by a single random edge, plus `extra` random
+/// inter-cluster edges.
+pub fn caveman(clusters: usize, size: usize, extra: usize, seed: u64) -> Graph {
+    assert!(clusters >= 1 && size >= 1, "need at least one nonempty cluster");
+    let n = clusters * size;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for c in 0..clusters {
+        let base = (c * size) as u32;
+        for i in 0..size as u32 {
+            for j in (i + 1)..size as u32 {
+                b.add_edge(NodeId(base + i), NodeId(base + j));
+            }
+        }
+        if c + 1 < clusters {
+            let u = base + rng.gen_range(0..size as u32);
+            let v = ((c + 1) * size) as u32 + rng.gen_range(0..size as u32);
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    for _ in 0..extra {
+        let c1 = rng.gen_range(0..clusters);
+        let c2 = rng.gen_range(0..clusters);
+        if c1 == c2 {
+            continue;
+        }
+        let u = (c1 * size) as u32 + rng.gen_range(0..size as u32);
+        let v = (c2 * size) as u32 + rng.gen_range(0..size as u32);
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs at Euclidean distance ≤ `radius`. Grid-bucketed, so the
+/// cost is O(n + m). Large-diameter, spatially clustered workloads —
+/// the regime where staged-distortion spanners shine.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.5).contains(&radius), "radius must be in [0, 1.5]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let cell = radius.max(1e-9);
+    let cells_per_side = (1.0 / cell).ceil() as i64;
+    let key = |x: f64, y: f64| -> (i64, i64) {
+        (
+            ((x / cell) as i64).min(cells_per_side - 1),
+            ((y / cell) as i64).min(cells_per_side - 1),
+        )
+    };
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        buckets.entry(key(x, y)).or_default().push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (&(cx, cy), members) in &buckets {
+        for &i in members {
+            let (xi, yi) = pts[i as usize];
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(other) = buckets.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &j in other {
+                        if j <= i {
+                            continue;
+                        }
+                        let (xj, yj) = pts[j as usize];
+                        let (ddx, ddy) = (xi - xj, yi - yj);
+                        if ddx * ddx + ddy * ddy <= r2 {
+                            b.add_edge(NodeId(i), NodeId(j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Path on `n` nodes: 0 − 1 − … − (n−1).
+pub fn path(n: usize) -> Graph {
+    let edges = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1));
+    Graph::from_edges(n, edges)
+}
+
+/// Cycle on `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    Graph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+}
+
+/// Star with center 0 and `n − 1` leaves.
+pub fn star(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n as u32).map(|i| (0, i)))
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph K_{a,b}: left part `0..a`, right part `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut gb = GraphBuilder::new(a + b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            gb.add_edge(NodeId(u), NodeId(a as u32 + v));
+        }
+    }
+    gb.build()
+}
+
+/// `rows × cols` grid, 4-neighbor connectivity. Node (r, c) has index
+/// `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` torus (grid with wraparound).
+///
+/// # Panics
+///
+/// Panics if either dimension is < 3 (wraparound would duplicate edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// d-dimensional hypercube on 2^d nodes (nodes adjacent iff their indices
+/// differ in one bit).
+///
+/// # Panics
+///
+/// Panics if `d > 20` (over a million nodes).
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d <= 20, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(NodeId(v), NodeId(u));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn gnp_determinism_and_bounds() {
+        let a = erdos_renyi_gnp(200, 0.05, 9);
+        let b = erdos_renyi_gnp(200, 0.05, 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let c = erdos_renyi_gnp(200, 0.05, 10);
+        // Overwhelmingly likely to differ.
+        assert_ne!(a.edge_count(), 0);
+        assert!(a.edge_count() != c.edge_count() || a != c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(50, 0.0, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).edge_count(), 45);
+        assert_eq!(erdos_renyi_gnp(0, 0.5, 1).node_count(), 0);
+        assert_eq!(erdos_renyi_gnp(1, 0.5, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let n = 400;
+        let p = 0.02;
+        let g = erdos_renyi_gnp(n, p, 4);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "edges {got} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        for m in [0, 1, 100, 499] {
+            let g = erdos_renyi_gnm(100, m, 3);
+            assert_eq!(g.edge_count(), m);
+        }
+        // Dense side (complement sampling path).
+        let g = erdos_renyi_gnm(40, 700, 3);
+        assert_eq!(g.edge_count(), 700);
+        let full = erdos_renyi_gnm(10, 45, 3);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn pair_from_index_roundtrip() {
+        let n = 37u64;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_from_index(idx, n), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn connected_gnm_is_connected() {
+        for seed in 0..5 {
+            let g = connected_gnm(120, 200, seed);
+            assert!(is_connected(&g));
+            assert!(g.edge_count() >= 119);
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(100, 4, 11);
+        assert!(is_connected(&g) || g.edge_count() == 200);
+        let max = g.max_degree();
+        assert!(max <= 4);
+        // pairing-model success gives exactly 4-regular
+        if g.edge_count() == 200 {
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(300, 3, 5);
+        assert_eq!(g.node_count(), 300);
+        assert!(is_connected(&g));
+        // Heavy tail: max degree well above the attachment parameter.
+        assert!(g.max_degree() >= 10, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn caveman_connected() {
+        let g = caveman(6, 8, 4, 2);
+        assert_eq!(g.node_count(), 48);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn structured_families() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(6).max_degree(), 5);
+        assert_eq!(complete(6).edge_count(), 15);
+        assert_eq!(complete_bipartite(3, 4).edge_count(), 12);
+        let g = grid(3, 4);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(is_connected(&g));
+        let t = torus(3, 3);
+        assert_eq!(t.edge_count(), 18);
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 4);
+        }
+        let h = hypercube(4);
+        assert_eq!(h.node_count(), 16);
+        assert_eq!(h.edge_count(), 32);
+        for v in h.nodes() {
+            assert_eq!(h.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn random_geometric_matches_bruteforce() {
+        let n = 300;
+        let radius = 0.11;
+        let g = random_geometric(n, radius, 9);
+        // Re-derive the points with the same RNG stream and brute-force
+        // the expected edge count.
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let mut expect = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                if dx * dx + dy * dy <= radius * radius {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(g.edge_count(), expect);
+    }
+
+    #[test]
+    fn random_geometric_determinism_and_extremes() {
+        assert_eq!(random_geometric(100, 0.1, 5), random_geometric(100, 0.1, 5));
+        assert_eq!(random_geometric(50, 0.0, 1).edge_count(), 0);
+        assert_eq!(random_geometric(20, 1.5, 1).edge_count(), 190);
+    }
+
+    #[test]
+    fn hypercube_distances_are_hamming() {
+        let h = hypercube(5);
+        let d = crate::traversal::bfs_distances(&h, NodeId(0));
+        for v in 0..32u32 {
+            assert_eq!(d[v as usize], Some(v.count_ones()));
+        }
+    }
+}

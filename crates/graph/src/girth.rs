@@ -1,0 +1,136 @@
+//! Girth computation.
+//!
+//! The classical route to a linear-size spanner (Althöfer et al.) keeps a
+//! subgraph with girth > 2k; the tests use girth to validate the greedy
+//! baseline and the benches use it to contrast the paper's approach, which
+//! *"guarantees sparseness without disallowing short cycles"* (Sect. 2).
+
+use std::collections::VecDeque;
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Length of the shortest cycle in `g`, or `None` if `g` is a forest.
+///
+/// BFS from every vertex, tracking the incoming edge so that re-visiting a
+/// vertex of the current tree yields a cycle estimate; the standard
+/// O(n·m) exact algorithm for unweighted graphs.
+pub fn girth(g: &Graph) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut via = vec![EdgeId(u32::MAX); n];
+    for s in g.nodes() {
+        dist.fill(u32::MAX);
+        let mut queue = VecDeque::new();
+        dist[s.index()] = 0;
+        via[s.index()] = EdgeId(u32::MAX);
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            if let Some(b) = best {
+                // Cycles through s found at depth >= b/2 cannot improve.
+                if 2 * du + 1 >= b {
+                    break;
+                }
+            }
+            for &(v, e) in g.neighbors(u) {
+                if e == via[u.index()] {
+                    continue; // don't walk back along the tree edge
+                }
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = du + 1;
+                    via[v.index()] = e;
+                    queue.push_back(v);
+                } else {
+                    // Found a cycle through s of length dist(u) + dist(v) + 1.
+                    let len = du + dist[v.index()] + 1;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Whether `g` has girth strictly greater than `k` (true for forests).
+pub fn girth_exceeds(g: &Graph, k: u32) -> bool {
+    girth(g).is_none_or(|gth| gth > k)
+}
+
+/// Whether adding edge `{u, v}` to `g` would create a cycle of length at
+/// most `k` — i.e. whether `dist_g(u, v) <= k - 1`. This is the greedy
+/// spanner's acceptance test, run *before* insertion.
+pub fn closes_short_cycle(g: &Graph, u: NodeId, v: NodeId, k: u32) -> bool {
+    if k == 0 {
+        return false;
+    }
+    let d = crate::traversal::bfs_distances_bounded(g, u, k - 1);
+    d[v.index()].is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_has_no_girth() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (1, 3), (3, 4)]);
+        assert_eq!(girth(&g), None);
+        assert!(girth_exceeds(&g, 1_000_000));
+    }
+
+    #[test]
+    fn triangle_girth_three() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(girth(&g), Some(3));
+        assert!(!girth_exceeds(&g, 3));
+        assert!(girth_exceeds(&g, 2));
+    }
+
+    #[test]
+    fn cycle_girth_is_length() {
+        for n in [4u32, 5, 9, 16] {
+            let g = Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n)));
+            assert_eq!(girth(&g), Some(n));
+        }
+    }
+
+    #[test]
+    fn theta_graph_girth() {
+        // Two vertices joined by paths of lengths 2, 3, 4: girth = 2+3 = 5.
+        // 0 -a- 1; paths 0-2-1, 0-3-4-1, 0-5-6-7-1
+        let g = Graph::from_edges(
+            8,
+            [(0, 2), (2, 1), (0, 3), (3, 4), (4, 1), (0, 5), (5, 6), (6, 7), (7, 1)],
+        );
+        assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn petersen_girth_five() {
+        // Petersen graph: outer 5-cycle, inner pentagram, spokes.
+        let outer = (0u32..5).map(|i| (i, (i + 1) % 5));
+        let inner = (0u32..5).map(|i| (5 + i, 5 + (i + 2) % 5));
+        let spokes = (0u32..5).map(|i| (i, i + 5));
+        let g = Graph::from_edges(10, outer.chain(inner).chain(spokes));
+        assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn multigraph_style_parallel_paths() {
+        // Two vertices joined by two length-2 paths: girth 4.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3), (3, 2)]);
+        assert_eq!(girth(&g), Some(4));
+    }
+
+    #[test]
+    fn closes_short_cycle_test() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        // adding 0-3 closes a 4-cycle
+        assert!(closes_short_cycle(&g, NodeId(0), NodeId(3), 4));
+        assert!(!closes_short_cycle(&g, NodeId(0), NodeId(3), 3));
+        assert!(!closes_short_cycle(&g, NodeId(0), NodeId(3), 0));
+    }
+}

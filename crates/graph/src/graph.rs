@@ -1,0 +1,448 @@
+//! Compact undirected simple graphs.
+//!
+//! The [`Graph`] type stores an undirected simple graph in a CSR-like layout:
+//! one flat `Vec` of (neighbor, edge id) pairs plus per-node offsets. Edges
+//! have stable [`EdgeId`]s in insertion order, so subgraphs (spanners) can be
+//! represented compactly as bitsets over edge ids (see
+//! [`EdgeSet`](crate::EdgeSet)).
+//!
+//! Graphs are immutable after construction; build them with [`GraphBuilder`]
+//! or [`Graph::from_edges`].
+
+use std::fmt;
+
+/// Identifier of a vertex: a dense index in `0..graph.node_count()`.
+///
+/// The paper's model gives every processor a unique O(log n)-bit identifier;
+/// dense indices are the canonical choice and random relabelings are applied
+/// by generators where identifier symmetry matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the index as a `usize` for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+    }
+}
+
+/// Identifier of an undirected edge: a dense index in `0..graph.edge_count()`,
+/// in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the index as a `usize` for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An immutable, undirected, simple graph in CSR layout.
+///
+/// # Example
+///
+/// ```
+/// use spanner_graph::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(NodeId(0)), 2);
+/// assert!(g.has_edge(NodeId(0), NodeId(1)));
+/// assert!(!g.has_edge(NodeId(0), NodeId(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `adj` for node `v`.
+    offsets: Vec<u32>,
+    /// Flat adjacency: (neighbor, incident edge id).
+    adj: Vec<(NodeId, EdgeId)>,
+    /// Edge endpoints by edge id, with `endpoints[e].0 <= endpoints[e].1`.
+    endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge iterator.
+    ///
+    /// Self-loops and duplicate edges are silently discarded (the paper works
+    /// with simple graphs throughout, and contraction explicitly discards
+    /// loops and redundant edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I, E>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<(u32, u32)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for e in edges {
+            let (u, v) = e.into();
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph::from_edges(n, std::iter::empty::<(u32, u32)>())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Iterator over all node ids, `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edges as `(EdgeId, NodeId, NodeId)` with the smaller
+    /// endpoint first.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i as u32), u, v))
+    }
+
+    /// Endpoints of edge `e`, smaller endpoint first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Neighbors of `v` with the connecting edge ids.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Neighbor node ids of `v` (without edge ids).
+    pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors(v).iter().map(|&(u, _)| u)
+    }
+
+    /// Whether the edge `{u, v}` is present. O(min degree) scan.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// The edge id of `{u, v}` if present. O(min degree) scan.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a)
+            .iter()
+            .find(|&&(w, _)| w == b)
+            .map(|&(_, e)| e)
+    }
+
+    /// Sum of degrees divided by node count.
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / self.node_count() as f64
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Returns the subgraph induced by keeping exactly the edges for which
+    /// `keep` returns true, on the same vertex set. Edge ids are renumbered.
+    pub fn edge_subgraph<F: FnMut(EdgeId) -> bool>(&self, mut keep: F) -> Graph {
+        let mut b = GraphBuilder::new(self.node_count());
+        for (e, u, v) in self.edges() {
+            if keep(e) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Applies a permutation to node labels: node `v` becomes `perm[v]`.
+    ///
+    /// Used to randomize processor identifiers where the model calls for
+    /// arbitrary unique ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabel(&self, perm: &[u32]) -> Graph {
+        assert_eq!(perm.len(), self.node_count(), "permutation length mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(
+                (p as usize) < perm.len() && !seen[p as usize],
+                "not a permutation"
+            );
+            seen[p as usize] = true;
+        }
+        let mut b = GraphBuilder::new(self.node_count());
+        for (_, u, v) in self.edges() {
+            b.add_edge(NodeId(perm[u.index()]), NodeId(perm[v.index()]));
+        }
+        b.build()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Deduplicates edges and drops self-loops at [`GraphBuilder::build`] time.
+///
+/// # Example
+///
+/// ```
+/// use spanner_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1));
+/// b.add_edge(NodeId(1), NodeId(0)); // duplicate, dropped
+/// b.add_edge(NodeId(2), NodeId(2)); // loop, dropped
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    raw_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes with no edges yet.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "too many nodes");
+        GraphBuilder {
+            n,
+            raw_edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Records the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "edge endpoint out of range: ({u}, {v}) with n={}",
+            self.n
+        );
+        let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
+        self.raw_edges.push((a, b));
+        self
+    }
+
+    /// Finalizes the graph: sorts, deduplicates, drops loops, lays out CSR.
+    pub fn build(mut self) -> Graph {
+        self.raw_edges.sort_unstable();
+        self.raw_edges.dedup();
+        self.raw_edges.retain(|&(a, b)| a != b);
+
+        let n = self.n;
+        let m = self.raw_edges.len();
+        let endpoints = self.raw_edges;
+
+        let mut deg = vec![0u32; n];
+        for &(a, b) in &endpoints {
+            deg[a.index()] += 1;
+            deg[b.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj = vec![(NodeId(0), EdgeId(0)); 2 * m];
+        for (i, &(a, b)) in endpoints.iter().enumerate() {
+            let e = EdgeId(i as u32);
+            adj[cursor[a.index()] as usize] = (b, e);
+            cursor[a.index()] += 1;
+            adj[cursor[b.index()] as usize] = (a, e);
+            cursor[b.index()] += 1;
+        }
+
+        Graph {
+            offsets,
+            adj,
+            endpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn triangle_basic() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.edge_count(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.average_degree(), 2.0);
+    }
+
+    #[test]
+    fn dedup_and_loops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn endpoints_ordered() {
+        let g = Graph::from_edges(4, [(3, 1), (2, 0)]);
+        for (_, u, v) in g.edges() {
+            assert!(u.0 < v.0);
+        }
+    }
+
+    #[test]
+    fn find_edge_both_directions() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3)]);
+        let e = g.find_edge(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(g.endpoints(e), (NodeId(1), NodeId(2)));
+        assert!(g.find_edge(NodeId(2), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn adjacency_consistent_with_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4), (1, 2)]);
+        for (e, u, v) in g.edges() {
+            assert!(g.neighbors(u).iter().any(|&(w, f)| w == v && f == e));
+            assert!(g.neighbors(v).iter().any(|&(w, f)| w == u && f == e));
+        }
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn edge_subgraph_renumbers() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let h = g.edge_subgraph(|e| e.0 != 1);
+        assert_eq!(h.edge_count(), 2);
+        assert!(h.has_edge(NodeId(0), NodeId(1)));
+        assert!(!h.has_edge(NodeId(1), NodeId(2)));
+        assert!(h.has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let perm = [3u32, 2, 1, 0];
+        let h = g.relabel(&perm);
+        assert_eq!(h.edge_count(), 3);
+        assert!(h.has_edge(NodeId(3), NodeId(2)));
+        assert!(h.has_edge(NodeId(2), NodeId(1)));
+        assert!(h.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = Graph::empty(3);
+        g.relabel(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeId(7).to_string(), "v7");
+        assert_eq!(EdgeId(3).to_string(), "e3");
+    }
+}

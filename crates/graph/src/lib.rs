@@ -1,0 +1,41 @@
+//! Graph substrate for the ultrasparse-spanners reproduction.
+//!
+//! This crate provides everything the spanner algorithms of
+//! Pettie (PODC 2008) need from a graph library, implemented from scratch:
+//!
+//! * [`Graph`]: a compact undirected simple graph with stable edge
+//!   identifiers and a CSR-like adjacency layout,
+//! * [`EdgeSet`]: a subgraph-as-edge-subset representation used for spanners,
+//! * seeded, deterministic random [`generators`],
+//! * [`traversal`]: BFS in several flavors (bounded, multi-source, trees),
+//! * [`distance`]: exact and sampled distance computations, eccentricities,
+//!   diameter, stretch evaluation helpers,
+//! * [`girth`] computation and [`components`] (union-find / connectivity),
+//! * [`weighted`]: positively weighted graphs with Dijkstra (for the
+//!   weighted Baswana–Sen row of Fig. 1).
+//!
+//! All randomized functions take explicit `u64` seeds; given equal seeds the
+//! output is bit-for-bit reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use spanner_graph::{generators, traversal, NodeId};
+//!
+//! let g = generators::erdos_renyi_gnm(500, 2000, 42);
+//! let dist = traversal::bfs_distances(&g, NodeId(0));
+//! assert_eq!(dist[0], Some(0));
+//! ```
+
+pub mod components;
+pub mod distance;
+pub mod edgeset;
+pub mod generators;
+pub mod girth;
+pub mod graph;
+pub mod metrics;
+pub mod traversal;
+pub mod weighted;
+
+pub use edgeset::EdgeSet;
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};

@@ -1,0 +1,123 @@
+//! Summary statistics over graphs and subgraphs.
+//!
+//! Used by the bench harness to print the workload columns of each table
+//! (n, m, density, degree profile) alongside the measured spanner columns.
+
+use crate::edgeset::EdgeSet;
+use crate::graph::Graph;
+
+/// Basic size/degree summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Average degree 2m/n.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Edges per node, m/n — the "nominal density" unit the paper uses.
+    pub edges_per_node: f64,
+}
+
+impl GraphStats {
+    /// Computes stats for `g`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.node_count();
+        let m = g.edge_count();
+        GraphStats {
+            nodes: n,
+            edges: m,
+            avg_degree: g.average_degree(),
+            max_degree: g.max_degree(),
+            edges_per_node: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_deg={} m/n={:.2}",
+            self.nodes, self.edges, self.avg_degree, self.max_degree, self.edges_per_node
+        )
+    }
+}
+
+/// Size of a subgraph relative to its host: |S|, |S|/n and |S|/m.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubgraphSize {
+    /// Number of edges kept.
+    pub edges: usize,
+    /// Edges kept per host node (the paper reports sizes as c·n).
+    pub per_node: f64,
+    /// Fraction of host edges kept.
+    pub fraction: f64,
+}
+
+/// Measures `span` relative to `g`.
+pub fn subgraph_size(g: &Graph, span: &EdgeSet) -> SubgraphSize {
+    let n = g.node_count().max(1);
+    let m = g.edge_count().max(1);
+    SubgraphSize {
+        edges: span.len(),
+        per_node: span.len() as f64 / n as f64,
+        fraction: span.len() as f64 / m as f64,
+    }
+}
+
+/// Degree histogram: `hist[d]` counts nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeId, Graph};
+
+    #[test]
+    fn stats_of_cycle() {
+        let g = crate::generators::cycle(10);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 10);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.avg_degree, 2.0);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.edges_per_node, 1.0);
+        assert!(s.to_string().contains("n=10"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::of(&Graph::empty(0));
+        assert_eq!(s.edges_per_node, 0.0);
+    }
+
+    #[test]
+    fn subgraph_size_ratios() {
+        let g = crate::generators::path(5);
+        let mut s = crate::EdgeSet::new(&g);
+        s.insert(EdgeId(0));
+        s.insert(EdgeId(1));
+        let z = subgraph_size(&g, &s);
+        assert_eq!(z.edges, 2);
+        assert!((z.per_node - 0.4).abs() < 1e-12);
+        assert!((z.fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = crate::generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! The lower-bound machinery of Sect. 3.
+//!
+//! Theorems 3–6 of Pettie (PODC 2008) show that additive, sublinear
+//! additive, and (1+ε, β)-spanners cannot be computed quickly in a
+//! distributed network. All four proofs use one input family: the gadget
+//! graph **G(τ, λ, κ)** of Fig. 5 — κ complete λ×λ bipartite blocks chained
+//! together such that
+//!
+//! 1. within τ rounds, no algorithm can justify discarding any *chain*
+//!    edge (the shortest alternate path is longer than the τ-neighborhood
+//!    can certify), so only bipartite edges are droppable, and
+//! 2. by symmetry every bipartite edge is discarded with the same
+//!    probability, so a size budget of n^{1+δ} forces a constant fraction
+//!    of the *critical* edges (vL,i,1 — vR,i,1) to be dropped, each costing
+//!    +2 on the spine distance.
+//!
+//! This crate builds the gadget ([`gadget`]), implements the extremal
+//! τ-round strategies ([`adversary`]), and measures the resulting
+//! distortion exactly ([`adversary::measure_spine_distortion`]) so the
+//! experiment binaries can tabulate measured vs. predicted bounds for
+//! Theorems 3, 4, 5, and 6.
+
+pub mod adversary;
+pub mod gadget;
+pub mod views;
+
+pub use gadget::{Gadget, GadgetParams};
+pub use views::{run_view_rule, EdgeView};

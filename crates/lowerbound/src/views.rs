@@ -1,0 +1,272 @@
+//! τ-round algorithms as functions of neighborhood views.
+//!
+//! In τ synchronized rounds, everything a vertex can possibly learn is the
+//! topology (and labels, and shared randomness) of its radius-τ
+//! neighborhood. Sect. 3 leans on two consequences:
+//!
+//! 1. an edge may be discarded only if some endpoint's view certifies an
+//!    alternate route (otherwise discarding it could disconnect a graph
+//!    indistinguishable from the input), and
+//! 2. vertices with isomorphic views behave identically in distribution —
+//!    so on G(τ, λ, κ), where all block edges have isomorphic views, every
+//!    block edge is discarded with the same probability.
+//!
+//! This module makes those statements executable: [`EdgeView`] extracts
+//! the canonicalized radius-τ view of an edge, and [`run_view_rule`] runs
+//! an arbitrary deterministic rule-of-the-view over all edges — the
+//! formal model of a "τ-round spanner algorithm" the lower-bound
+//! experiments quantify over. The tests verify claim (2) literally:
+//! canonical views of all block edges of the gadget are *equal*, and
+//! chain-edge views never contain an alternate route.
+
+use std::collections::{HashMap, VecDeque};
+
+use spanner_graph::{EdgeId, EdgeSet, Graph, NodeId};
+
+/// The canonicalized radius-τ view of an edge {u, v}: the subgraph induced
+/// by the union of both endpoints' τ-balls, with vertices renamed by BFS
+/// discovery order (so isomorphic views compare equal), plus the edge's
+/// position in it.
+///
+/// Labels are deliberately erased: the paper randomizes vertex labels
+/// precisely so that algorithms cannot exploit them, and claim (2) is
+/// about the labeled-view *distribution* being identical — equality of
+/// unlabeled canonical views is the underlying fact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdgeView {
+    /// Number of vertices in the view.
+    pub n: usize,
+    /// Canonical edge list (pairs of canonical indices, sorted).
+    pub edges: Vec<(u32, u32)>,
+    /// Canonical indices of the viewed edge's endpoints.
+    pub endpoints: (u32, u32),
+}
+
+impl EdgeView {
+    /// Extracts the canonical radius-`tau` view of edge `e` in `g`.
+    ///
+    /// Canonicalization: BFS from the pair {u, v} (u first), visiting
+    /// neighbors in ascending id order; vertices are renamed by discovery
+    /// order. Views of edges whose neighborhoods are isomorphic *via the
+    /// discovery-order correspondence* compare equal; this is exact for
+    /// the highly symmetric gadget neighborhoods (verified by the tests)
+    /// though not a general graph-isomorphism canonical form.
+    pub fn extract(g: &Graph, e: EdgeId, tau: u32) -> EdgeView {
+        let (u, v) = g.endpoints(e);
+        // BFS from both endpoints simultaneously, bounded by tau.
+        let mut order: HashMap<NodeId, u32> = HashMap::new();
+        let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+        order.insert(u, 0);
+        order.insert(v, 1);
+        queue.push_back((u, 0));
+        queue.push_back((v, 0));
+        let mut members: Vec<NodeId> = vec![u, v];
+        while let Some((x, d)) = queue.pop_front() {
+            if d == tau {
+                continue;
+            }
+            let mut nbrs: Vec<NodeId> = g.neighbor_ids(x).collect();
+            nbrs.sort_unstable();
+            for y in nbrs {
+                if !order.contains_key(&y) {
+                    let id = order.len() as u32;
+                    order.insert(y, id);
+                    members.push(y);
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        // Induced edges among members, canonical ids.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for &x in &members {
+            let cx = order[&x];
+            for y in g.neighbor_ids(x) {
+                if let Some(&cy) = order.get(&y) {
+                    if cx < cy {
+                        edges.push((cx, cy));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        EdgeView {
+            n: members.len(),
+            edges,
+            endpoints: (0, 1),
+        }
+    }
+
+    /// Whether the view certifies an alternate route between the viewed
+    /// edge's endpoints (a path avoiding the edge, inside the view): the
+    /// precondition for a correct algorithm to discard the edge.
+    pub fn has_alternate_route(&self) -> bool {
+        // BFS from endpoint 0 to endpoint 1 avoiding the direct edge.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            if (a, b) == self.endpoints {
+                continue;
+            }
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let mut seen = vec![false; self.n];
+        let mut queue = VecDeque::from([self.endpoints.0]);
+        seen[self.endpoints.0 as usize] = true;
+        while let Some(x) = queue.pop_front() {
+            if x == self.endpoints.1 {
+                return true;
+            }
+            for &y in &adj[x as usize] {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Runs a deterministic view rule as a τ-round algorithm: the rule sees
+/// each edge's canonical view (plus a per-view hash of the shared seed, so
+/// randomized rules are expressible) and returns whether to KEEP the edge.
+///
+/// Edges whose view shows no alternate route are always kept, regardless
+/// of the rule — mirroring the correctness constraint of claim (1).
+pub fn run_view_rule<F>(g: &Graph, tau: u32, seed: u64, mut rule: F) -> EdgeSet
+where
+    F: FnMut(&EdgeView, u64) -> bool,
+{
+    let mut kept = EdgeSet::new(g);
+    for (e, _, _) in g.edges() {
+        let view = EdgeView::extract(g, e, tau);
+        if !view.has_alternate_route() {
+            kept.insert(e);
+            continue;
+        }
+        // Hash the seed with the edge id for per-edge randomness that is
+        // still a deterministic function of (input, seed).
+        let mut s = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(e.0 as u64 + 1));
+        let r = spanner_netsim::rng::splitmix64(&mut s);
+        if rule(&view, r) {
+            kept.insert(e);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget::{Gadget, GadgetParams};
+    use spanner_graph::generators;
+
+    #[test]
+    fn cycle_edges_have_alternate_routes_iff_radius_reaches() {
+        let g = generators::cycle(12);
+        for (e, _, _) in g.edges() {
+            // The alternate route around a 12-cycle has length 11; its
+            // internal vertices all lie within tau of an endpoint iff
+            // 11 <= 2*tau + 1, i.e. tau >= 5.
+            assert!(!EdgeView::extract(&g, e, 4).has_alternate_route());
+            assert!(EdgeView::extract(&g, e, 5).has_alternate_route());
+        }
+    }
+
+    #[test]
+    fn triangle_always_alternate() {
+        let g = generators::complete(3);
+        for (e, _, _) in g.edges() {
+            assert!(EdgeView::extract(&g, e, 1).has_alternate_route());
+        }
+    }
+
+    /// Claim (2), executable: all block edges of the gadget have literally
+    /// equal canonical views, so any view rule treats them identically.
+    #[test]
+    fn gadget_block_views_identical() {
+        let g = Gadget::build(GadgetParams::new(3, 4, 4).unwrap());
+        let views: Vec<EdgeView> = g
+            .block_edges
+            .iter()
+            .map(|&e| EdgeView::extract(&g.graph, e, g.params.tau))
+            .collect();
+        // Inner blocks all have identical neighborhoods; boundary chains
+        // were added precisely to make the first/last blocks look the
+        // same too — check full equality.
+        for (i, v) in views.iter().enumerate() {
+            assert_eq!(
+                v, &views[0],
+                "block edge {i} has a different view than block edge 0"
+            );
+        }
+    }
+
+    /// Claim (1), executable: chain-edge views certify no alternate route,
+    /// so every correct rule keeps them.
+    #[test]
+    fn gadget_chain_edges_forced_kept() {
+        let g = Gadget::build(GadgetParams::new(3, 3, 3).unwrap());
+        // A rule that tries to drop EVERYTHING is still forced to keep
+        // all chain edges.
+        let kept = run_view_rule(&g.graph, g.params.tau, 1, |_, _| false);
+        let blocks: std::collections::HashSet<_> = g.block_edges.iter().copied().collect();
+        for (e, _, _) in g.graph.edges() {
+            if blocks.contains(&e) {
+                assert!(!kept.contains(e), "block edge {e} should be droppable");
+            } else {
+                assert!(kept.contains(e), "chain edge {e} must be kept");
+            }
+        }
+    }
+
+    /// A randomized keep-with-probability-1/2 rule drops each block edge
+    /// with empirical probability ~1/2 — the symmetric behaviour the
+    /// lower bound charges every algorithm with.
+    #[test]
+    fn randomized_rule_is_symmetric_across_blocks() {
+        let g = Gadget::build(GadgetParams::new(2, 3, 6).unwrap());
+        let trials = 40u64;
+        let mut kept_count = vec![0u32; g.critical_edges.len()];
+        for seed in 0..trials {
+            let kept = run_view_rule(&g.graph, g.params.tau, seed, |_, r| r % 2 == 0);
+            for (i, &ce) in g.critical_edges.iter().enumerate() {
+                if kept.contains(ce) {
+                    kept_count[i] += 1;
+                }
+            }
+        }
+        for (i, &c) in kept_count.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!(
+                (rate - 0.5).abs() < 0.3,
+                "critical edge {i} kept at rate {rate}"
+            );
+        }
+    }
+
+    /// On a tree no edge has an alternate route, so every rule — even
+    /// drop-everything — keeps the whole graph.
+    #[test]
+    fn trees_are_fully_forced() {
+        let g = generators::path(40);
+        let kept = run_view_rule(&g, 3, 7, |_, _| false);
+        assert_eq!(kept.len(), g.edge_count());
+    }
+
+    /// The forced-keep floor: whatever the rule does, the kept set always
+    /// contains every edge without a locally visible alternate route.
+    /// (Note this is a *necessary* condition for correctness, not a
+    /// sufficient one — a rule can still disconnect the graph by dropping
+    /// all edges of a local cycle; the lower bound only needs necessity.)
+    #[test]
+    fn forced_edges_always_kept() {
+        let g = generators::connected_gnm(120, 400, 3);
+        let kept = run_view_rule(&g, 2, 7, |_, r| r % 4 == 0);
+        for (e, _, _) in g.edges() {
+            if !EdgeView::extract(&g, e, 2).has_alternate_route() {
+                assert!(kept.contains(e), "forced edge {e} dropped");
+            }
+        }
+    }
+}

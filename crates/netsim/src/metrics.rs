@@ -1,0 +1,103 @@
+//! Cost accounting for simulated runs.
+//!
+//! The paper's theorems bound exactly three quantities: the number of
+//! synchronized rounds, the maximum message length (in O(log n)-bit words),
+//! and implicitly the total communication volume. [`RunMetrics`] records all
+//! three so experiments can print them next to the analytic bounds.
+
+use std::fmt;
+
+/// Aggregate cost of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunMetrics {
+    /// Rounds executed (the paper's "time").
+    pub rounds: u32,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total words across all messages.
+    pub words: u64,
+    /// Maximum single-message length observed, in words.
+    pub max_message_words: usize,
+}
+
+impl RunMetrics {
+    /// Merges another run's costs into this one, sequentially composing two
+    /// phases: rounds add, volumes add, max lengths take the max.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.max_message_words = self.max_message_words.max(other.max_message_words);
+    }
+
+    /// Average words per message (0 if no messages).
+    pub fn avg_message_words(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.words as f64 / self.messages as f64
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} messages={} words={} max_msg_words={}",
+            self.rounds, self.messages, self.words, self.max_message_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_composes() {
+        let mut a = RunMetrics {
+            rounds: 10,
+            messages: 100,
+            words: 300,
+            max_message_words: 3,
+        };
+        let b = RunMetrics {
+            rounds: 5,
+            messages: 50,
+            words: 500,
+            max_message_words: 10,
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 15);
+        assert_eq!(a.messages, 150);
+        assert_eq!(a.words, 800);
+        assert_eq!(a.max_message_words, 10);
+    }
+
+    #[test]
+    fn avg_words() {
+        let m = RunMetrics {
+            rounds: 1,
+            messages: 4,
+            words: 10,
+            max_message_words: 4,
+        };
+        assert!((m.avg_message_words() - 2.5).abs() < 1e-12);
+        assert_eq!(RunMetrics::default().avg_message_words(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let m = RunMetrics {
+            rounds: 2,
+            messages: 3,
+            words: 4,
+            max_message_words: 5,
+        };
+        let s = m.to_string();
+        for needle in ["rounds=2", "messages=3", "words=4", "max_msg_words=5"] {
+            assert!(s.contains(needle));
+        }
+    }
+}

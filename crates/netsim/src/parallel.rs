@@ -1,0 +1,270 @@
+//! Parallel round executor.
+//!
+//! Round-synchronous simulation parallelizes naturally: within a round every
+//! node reads only its inbox and private state, so nodes can be processed
+//! concurrently. This module runs the same [`Protocol`]
+//! semantics as [`Network::run`](crate::Network::run) across worker threads
+//! (crossbeam scoped threads), **deterministically**: per-node RNGs are
+//! derived from the master seed exactly as in the sequential executor and
+//! inboxes are sorted by sender, so the two executors produce identical
+//! final states (tested below).
+//!
+//! Useful for big-n experiment sweeps; the sequential executor remains the
+//! reference implementation.
+
+use rand::rngs::SmallRng;
+
+use spanner_graph::{Graph, NodeId};
+
+use crate::budget::{BudgetViolation, MessageBudget};
+use crate::metrics::RunMetrics;
+use crate::rng::node_rng;
+use crate::sync::{Ctx, MessageSize, Protocol, RunError};
+
+/// Outcome of a parallel run: final states plus cost accounting.
+#[derive(Debug)]
+pub struct ParallelOutcome<P> {
+    /// Final protocol states, indexed by node.
+    pub states: Vec<P>,
+    /// Aggregate cost of the run.
+    pub metrics: RunMetrics,
+}
+
+/// Runs `factory`-created protocols to quiescence using `threads` workers.
+///
+/// Semantics are identical to [`Network::run`](crate::Network::run); in
+/// particular the result is deterministic in `seed` and independent of
+/// `threads`.
+///
+/// # Errors
+///
+/// [`RunError::RoundLimit`] if not quiescent within `max_rounds`;
+/// [`RunError::Budget`] if any message exceeds `budget`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a protocol violates the model (messages a
+/// non-neighbor or double-sends), like the sequential executor.
+pub fn run_parallel<P, F>(
+    graph: &Graph,
+    budget: MessageBudget,
+    seed: u64,
+    factory: F,
+    max_rounds: u32,
+    threads: usize,
+) -> Result<ParallelOutcome<P>, RunError>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+    F: Fn(NodeId, &mut SmallRng) -> P + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    let n = graph.node_count();
+    let adjacency: Vec<Vec<NodeId>> = graph
+        .nodes()
+        .map(|v| {
+            let mut ns: Vec<NodeId> = graph.neighbor_ids(v).collect();
+            ns.sort_unstable();
+            ns
+        })
+        .collect();
+
+    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|v| node_rng(seed, v, 0)).collect();
+    let mut nodes: Vec<P> = rngs
+        .iter_mut()
+        .enumerate()
+        .map(|(v, rng)| factory(NodeId(v as u32), rng))
+        .collect();
+
+    let mut metrics = RunMetrics::default();
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+
+    // Chunked parallel step: returns (per-sender outboxes).
+    // Each worker owns a contiguous slice of nodes.
+    let chunk = n.div_ceil(threads).max(1);
+
+    let step = |nodes: &mut [P],
+                rngs: &mut [SmallRng],
+                delivering: &mut [Vec<(NodeId, P::Msg)>],
+                round: u32|
+     -> Vec<Vec<(NodeId, P::Msg)>> {
+        let mut all_outboxes: Vec<Vec<(NodeId, P::Msg)>> = Vec::with_capacity(n);
+        if n == 0 {
+            return all_outboxes;
+        }
+        let results: Vec<Vec<Vec<(NodeId, P::Msg)>>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let node_chunks = nodes.chunks_mut(chunk);
+            let rng_chunks = rngs.chunks_mut(chunk);
+            let del_chunks = delivering.chunks_mut(chunk);
+            for (ci, ((nchunk, rchunk), dchunk)) in
+                node_chunks.zip(rng_chunks).zip(del_chunks).enumerate()
+            {
+                let adjacency = &adjacency;
+                handles.push(scope.spawn(move |_| {
+                    let base = ci * chunk;
+                    let mut outboxes = Vec::with_capacity(nchunk.len());
+                    for (i, node) in nchunk.iter_mut().enumerate() {
+                        let v = base + i;
+                        let mut outbox = Vec::new();
+                        let mut inbox = std::mem::take(&mut dchunk[i]);
+                        inbox.sort_by_key(|&(s, _)| s);
+                        {
+                            let mut ctx = Ctx::new_for_executor(
+                                NodeId(v as u32),
+                                n,
+                                round,
+                                &adjacency[v],
+                                &mut rchunk[i],
+                                &mut outbox,
+                            );
+                            if round == 0 {
+                                node.init(&mut ctx);
+                            } else {
+                                node.round(&mut ctx, &inbox);
+                            }
+                        }
+                        outboxes.push(outbox);
+                    }
+                    outboxes
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("scope failed");
+        for mut chunk_out in results {
+            all_outboxes.append(&mut chunk_out);
+        }
+        all_outboxes
+    };
+
+    let mut round: u32 = 0;
+    let mut in_flight: u64;
+
+    // Init (round 0) then the main loop.
+    let mut fresh: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let outboxes = step(&mut nodes, &mut rngs, &mut fresh, 0);
+    in_flight = deliver(outboxes, &mut inboxes, budget, 0, &mut metrics)?;
+
+    loop {
+        if in_flight == 0 && nodes.iter().all(Protocol::done) {
+            break;
+        }
+        if round >= max_rounds {
+            return Err(RunError::RoundLimit { max_rounds });
+        }
+        round += 1;
+        metrics.rounds = round;
+        let mut delivering = std::mem::replace(&mut inboxes, (0..n).map(|_| Vec::new()).collect());
+        let outboxes = step(&mut nodes, &mut rngs, &mut delivering, round);
+        in_flight = deliver(outboxes, &mut inboxes, budget, round, &mut metrics)?;
+    }
+
+    Ok(ParallelOutcome {
+        states: nodes,
+        metrics,
+    })
+}
+
+/// Validates and routes all outboxes into inboxes; returns messages sent.
+fn deliver<M: MessageSize>(
+    outboxes: Vec<Vec<(NodeId, M)>>,
+    inboxes: &mut [Vec<(NodeId, M)>],
+    budget: MessageBudget,
+    round: u32,
+    metrics: &mut RunMetrics,
+) -> Result<u64, RunError> {
+    let mut sent = 0u64;
+    for (v, outbox) in outboxes.into_iter().enumerate() {
+        let sender = NodeId(v as u32);
+        for (to, msg) in outbox {
+            let words = msg.words();
+            if !budget.allows(words) {
+                return Err(RunError::Budget(BudgetViolation {
+                    sender,
+                    receiver: to,
+                    round,
+                    words,
+                    budget,
+                }));
+            }
+            metrics.messages += 1;
+            metrics.words += words as u64;
+            metrics.max_message_words = metrics.max_message_words.max(words);
+            inboxes[to.index()].push((sender, msg));
+            sent += 1;
+        }
+    }
+    Ok(sent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::MinIdBroadcast;
+    use crate::sync::Network;
+    use spanner_graph::generators;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = generators::erdos_renyi_gnm(80, 240, 7);
+        let sources = |v: NodeId| v.0.is_multiple_of(13);
+        let mut net = Network::new(&g, MessageBudget::Words(2), 99);
+        let seq = net
+            .run(|v, _| MinIdBroadcast::new(sources(v), 40), 256)
+            .unwrap();
+        for threads in [1, 2, 4] {
+            let par = run_parallel(
+                &g,
+                MessageBudget::Words(2),
+                99,
+                |v, _| MinIdBroadcast::new(sources(v), 40),
+                256,
+                threads,
+            )
+            .unwrap();
+            for v in g.nodes() {
+                assert_eq!(
+                    seq[v.index()].nearest(),
+                    par.states[v.index()].nearest(),
+                    "node {v} with {threads} threads"
+                );
+            }
+            assert_eq!(par.metrics.rounds, net.metrics().rounds);
+            assert_eq!(par.metrics.messages, net.metrics().messages);
+            assert_eq!(par.metrics.words, net.metrics().words);
+        }
+    }
+
+    #[test]
+    fn parallel_round_limit() {
+        #[derive(Debug)]
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = u64;
+            fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.broadcast(1);
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_, u64>, _: &[(NodeId, u64)]) {
+                ctx.broadcast(1);
+            }
+        }
+        let g = generators::cycle(6);
+        let err = run_parallel(&g, MessageBudget::CONGEST, 1, |_, _| Chatter, 3, 2).unwrap_err();
+        assert_eq!(err, RunError::RoundLimit { max_rounds: 3 });
+    }
+
+    #[test]
+    fn parallel_empty_graph() {
+        struct Quiet;
+        impl Protocol for Quiet {
+            type Msg = u64;
+            fn init(&mut self, _: &mut Ctx<'_, u64>) {}
+            fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(NodeId, u64)]) {}
+        }
+        let g = spanner_graph::Graph::empty(0);
+        let out = run_parallel(&g, MessageBudget::CONGEST, 1, |_, _| Quiet, 4, 3).unwrap();
+        assert!(out.states.is_empty());
+        assert_eq!(out.metrics.messages, 0);
+    }
+}

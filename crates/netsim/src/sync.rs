@@ -1,0 +1,613 @@
+//! The synchronous round-based runner.
+//!
+//! A [`Network`] couples a communication graph with a per-node [`Protocol`]
+//! state machine and executes synchronized rounds: messages sent in round
+//! `r` are delivered at the start of round `r + 1`; each node may send at
+//! most one message per neighbor per round (enforced); message lengths are
+//! checked against the [`MessageBudget`] and accounted in [`RunMetrics`].
+//!
+//! Execution stops when the network is *quiescent* — a round in which no
+//! messages were sent and every node reports [`Protocol::done`] — or when
+//! the round cap is hit (an error: the paper's algorithms have hard round
+//! bounds and exceeding them is a bug, not a long run).
+
+use rand::rngs::SmallRng;
+
+use spanner_graph::{Graph, NodeId};
+
+use crate::budget::{BudgetViolation, MessageBudget};
+use crate::metrics::RunMetrics;
+use crate::rng::node_rng;
+
+/// Message length in words of O(log n) bits.
+///
+/// One word holds one node identifier or one bounded integer, mirroring the
+/// paper's measurement of message length "in units of O(log n) bits".
+pub trait MessageSize {
+    /// The number of words this message occupies on the wire.
+    fn words(&self) -> usize;
+}
+
+impl MessageSize for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for u32 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl MessageSize for NodeId {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(MessageSize::words).sum()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+/// A per-node state machine run by [`Network`].
+///
+/// Implementations receive the full inbox of the round (sender plus message,
+/// sorted by sender id — a deterministic order shared by the sequential and
+/// parallel executors) and send via the [`Ctx`].
+pub trait Protocol {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone + MessageSize;
+
+    /// Called once before the first round; may send initial messages.
+    fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called every round with the messages delivered this round.
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(NodeId, Self::Msg)]);
+
+    /// Whether this node is content to stop if the network goes quiet.
+    ///
+    /// The runner stops at the first round where no messages are in flight
+    /// and all nodes are `done`. Defaults to `true` (pure quiescence).
+    fn done(&self) -> bool {
+        true
+    }
+}
+
+/// Per-round, per-node execution context handed to [`Protocol`] methods.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    node: NodeId,
+    n: usize,
+    round: u32,
+    neighbors: &'a [NodeId],
+    rng: &'a mut SmallRng,
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Internal constructor shared by the sequential and parallel executors.
+    pub(crate) fn new_for_executor(
+        node: NodeId,
+        n: usize,
+        round: u32,
+        neighbors: &'a [NodeId],
+        rng: &'a mut SmallRng,
+        outbox: &'a mut Vec<(NodeId, M)>,
+    ) -> Self {
+        Ctx {
+            node,
+            n,
+            round,
+            neighbors,
+            rng,
+            outbox,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the network (`n` is global knowledge in the
+    /// model: bounds like `4 s_i ln n` are computed locally from it).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current round number (0 during `init`).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Identifiers of this node's neighbors, ascending.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// This node's private deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Queues a message to neighbor `to` for delivery next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a neighbor (the model only allows messages
+    /// along edges) or if a message was already queued to `to` this round
+    /// (one message per neighbor per round).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "{} attempted to message non-neighbor {}",
+            self.node,
+            to
+        );
+        assert!(
+            !self.outbox.iter().any(|&(t, _)| t == to),
+            "{} queued two messages to {} in one round",
+            self.node,
+            to
+        );
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.neighbors.len() {
+            let to = self.neighbors[i];
+            self.send(to, msg.clone());
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The round cap was reached before quiescence.
+    RoundLimit {
+        /// The cap that was exceeded.
+        max_rounds: u32,
+    },
+    /// A message exceeded the [`MessageBudget`].
+    Budget(BudgetViolation),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::RoundLimit { max_rounds } => {
+                write!(f, "network not quiescent after {max_rounds} rounds")
+            }
+            RunError::Budget(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<BudgetViolation> for RunError {
+    fn from(v: BudgetViolation) -> Self {
+        RunError::Budget(v)
+    }
+}
+
+/// A synchronous network over a graph.
+///
+/// Construct once per run; [`Network::run`] drives a fresh set of protocol
+/// instances to quiescence and leaves cost accounting in
+/// [`Network::metrics`].
+#[derive(Debug)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    budget: MessageBudget,
+    seed: u64,
+    metrics: RunMetrics,
+    /// Sorted neighbor lists (the Ctx hands these out and `send` binary
+    /// searches them).
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl<'g> Network<'g> {
+    /// A network on `graph` with the given message budget and master seed.
+    pub fn new(graph: &'g Graph, budget: MessageBudget, seed: u64) -> Self {
+        let adjacency = graph
+            .nodes()
+            .map(|v| {
+                let mut ns: Vec<NodeId> = graph.neighbor_ids(v).collect();
+                ns.sort_unstable();
+                ns
+            })
+            .collect();
+        Network {
+            graph,
+            budget,
+            seed,
+            metrics: RunMetrics::default(),
+            adjacency,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The message budget in force.
+    pub fn budget(&self) -> MessageBudget {
+        self.budget
+    }
+
+    /// Cost accounting of the most recent [`Network::run`].
+    pub fn metrics(&self) -> RunMetrics {
+        self.metrics
+    }
+
+    /// Runs `factory`-created protocols to quiescence, sequentially.
+    ///
+    /// `factory(v, rng)` builds node `v`'s initial state; `rng` is the
+    /// node's private RNG (stream 0), which the protocol may use for its
+    /// own up-front random choices. Returns the final node states.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::RoundLimit`] if not quiescent within `max_rounds`;
+    /// [`RunError::Budget`] if any message exceeds the budget.
+    pub fn run<P, F>(&mut self, mut factory: F, max_rounds: u32) -> Result<Vec<P>, RunError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &mut SmallRng) -> P,
+    {
+        let n = self.graph.node_count();
+        self.metrics = RunMetrics::default();
+
+        let mut rngs: Vec<SmallRng> = (0..n as u32).map(|v| node_rng(self.seed, v, 0)).collect();
+        let mut nodes: Vec<P> = (0..n as u32)
+            .map(|v| factory(NodeId(v), &mut rngs[v as usize]))
+            .collect();
+
+        // Inboxes for the *next* round.
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut in_flight: u64 = 0;
+
+        // Init phase (round 0).
+        for v in 0..n {
+            let node = NodeId(v as u32);
+            outbox.clear();
+            {
+                let mut ctx = Ctx {
+                    node,
+                    n,
+                    round: 0,
+                    neighbors: &self.adjacency[v],
+                    rng: &mut rngs[v],
+                    outbox: &mut outbox,
+                };
+                nodes[v].init(&mut ctx);
+            }
+            in_flight += self.flush(node, 0, &mut outbox, &mut inboxes)?;
+        }
+
+        let mut round: u32 = 0;
+        loop {
+            let all_done = in_flight == 0 && nodes.iter().all(Protocol::done);
+            if all_done {
+                break;
+            }
+            if round >= max_rounds {
+                return Err(RunError::RoundLimit { max_rounds });
+            }
+            round += 1;
+            self.metrics.rounds = round;
+            in_flight = 0;
+
+            // Swap inboxes out so sends this round land in fresh ones.
+            let mut delivering = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+            for v in 0..n {
+                let node = NodeId(v as u32);
+                let mut inbox = std::mem::take(&mut delivering[v]);
+                inbox.sort_by_key(|&(s, _)| s);
+                outbox.clear();
+                {
+                    let mut ctx = Ctx {
+                        node,
+                        n,
+                        round,
+                        neighbors: &self.adjacency[v],
+                        rng: &mut rngs[v],
+                        outbox: &mut outbox,
+                    };
+                    nodes[v].round(&mut ctx, &inbox);
+                }
+                in_flight += self.flush(node, round, &mut outbox, &mut inboxes)?;
+            }
+        }
+
+        Ok(nodes)
+    }
+
+    /// Validates and delivers one node's outbox; returns how many messages
+    /// were sent.
+    fn flush<M: MessageSize>(
+        &mut self,
+        sender: NodeId,
+        round: u32,
+        outbox: &mut Vec<(NodeId, M)>,
+        inboxes: &mut [Vec<(NodeId, M)>],
+    ) -> Result<u64, RunError> {
+        let mut sent = 0u64;
+        for (to, msg) in outbox.drain(..) {
+            let words = msg.words();
+            if !self.budget.allows(words) {
+                return Err(RunError::Budget(BudgetViolation {
+                    sender,
+                    receiver: to,
+                    round,
+                    words,
+                    budget: self.budget,
+                }));
+            }
+            self.metrics.messages += 1;
+            self.metrics.words += words as u64;
+            self.metrics.max_message_words = self.metrics.max_message_words.max(words);
+            inboxes[to.index()].push((sender, msg));
+            sent += 1;
+        }
+        Ok(sent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::generators;
+
+    /// Counts rounds until it has heard from every neighbor, then stops.
+    struct HelloOnce {
+        heard: usize,
+        expected: usize,
+    }
+
+    impl Protocol for HelloOnce {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            self.expected = ctx.degree();
+            ctx.broadcast(ctx.me().0 as u64);
+        }
+
+        fn round(&mut self, _ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+            self.heard += inbox.len();
+        }
+    }
+
+    #[test]
+    fn hello_once_quiesces_in_one_round() {
+        let g = generators::cycle(10);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let states = net
+            .run(|_, _| HelloOnce { heard: 0, expected: 0 }, 10)
+            .unwrap();
+        assert!(states.iter().all(|s| s.heard == s.expected));
+        let m = net.metrics();
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.messages, 20);
+        assert_eq!(m.max_message_words, 1);
+    }
+
+    /// Forwards a token along a path; used to test multi-round runs.
+    struct Relay {
+        has_token: bool,
+        delivered: bool,
+    }
+
+    impl Protocol for Relay {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.has_token {
+                // Send to the higher neighbor (path direction).
+                if let Some(&next) = ctx.neighbors().last() {
+                    if next > ctx.me() {
+                        ctx.send(next, 7);
+                    }
+                }
+            }
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+            for &(_, tok) in inbox {
+                self.delivered = true;
+                let me = ctx.me();
+                if let Some(&next) = ctx.neighbors().iter().find(|&&u| u > me) {
+                    ctx.send(next, tok);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relay_takes_path_length_rounds() {
+        let g = generators::path(6);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let states = net
+            .run(
+                |v, _| Relay {
+                    has_token: v.0 == 0,
+                    delivered: false,
+                },
+                100,
+            )
+            .unwrap();
+        assert!(states.iter().skip(1).all(|s| s.delivered));
+        assert_eq!(net.metrics().rounds, 5);
+        assert_eq!(net.metrics().messages, 5);
+    }
+
+    #[derive(Debug)]
+    struct Chatterbox;
+
+    impl Protocol for Chatterbox {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.broadcast(1);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, _inbox: &[(NodeId, u64)]) {
+            ctx.broadcast(1);
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = generators::cycle(4);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let err = net.run(|_, _| Chatterbox, 5).unwrap_err();
+        assert_eq!(err, RunError::RoundLimit { max_rounds: 5 });
+    }
+
+    #[derive(Debug)]
+    struct BigTalker;
+
+    impl Protocol for BigTalker {
+        type Msg = Vec<u64>;
+        fn init(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+            ctx.broadcast(vec![0; 10]);
+        }
+        fn round(&mut self, _: &mut Ctx<'_, Vec<u64>>, _: &[(NodeId, Vec<u64>)]) {}
+    }
+
+    #[test]
+    fn budget_violation_detected() {
+        let g = generators::cycle(4);
+        let mut net = Network::new(&g, MessageBudget::Words(4), 1);
+        match net.run(|_, _| BigTalker, 5) {
+            Err(RunError::Budget(v)) => {
+                assert_eq!(v.words, 10);
+                assert_eq!(v.budget, MessageBudget::Words(4));
+            }
+            other => panic!("expected budget violation, got {other:?}"),
+        }
+        // Unbounded accepts the same protocol.
+        let mut net2 = Network::new(&g, MessageBudget::Unbounded, 1);
+        assert!(net2.run(|_, _| BigTalker, 5).is_ok());
+        assert_eq!(net2.metrics().max_message_words, 10);
+    }
+
+    struct NonNeighborSender;
+
+    impl Protocol for NonNeighborSender {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if ctx.me() == NodeId(0) {
+                ctx.send(NodeId(3), 1); // not adjacent on a path of 5
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(NodeId, u64)]) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        let g = generators::path(5);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let _ = net.run(|_, _| NonNeighborSender, 5);
+    }
+
+    struct DoubleSender;
+
+    impl Protocol for DoubleSender {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if ctx.me() == NodeId(0) {
+                ctx.send(NodeId(1), 1);
+                ctx.send(NodeId(1), 2);
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(NodeId, u64)]) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn double_send_panics() {
+        let g = generators::path(3);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let _ = net.run(|_, _| DoubleSender, 5);
+    }
+
+    #[test]
+    fn inbox_sorted_by_sender() {
+        struct Check {
+            ok: bool,
+            fired: bool,
+        }
+        impl Protocol for Check {
+            type Msg = u64;
+            fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.broadcast(0);
+            }
+            fn round(&mut self, _: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+                if !inbox.is_empty() {
+                    self.fired = true;
+                    self.ok &= inbox.windows(2).all(|w| w[0].0 < w[1].0);
+                }
+            }
+        }
+        let g = generators::star(8);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let states = net
+            .run(|_, _| Check { ok: true, fired: false }, 5)
+            .unwrap();
+        assert!(states[0].fired);
+        assert!(states.iter().all(|s| s.ok));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use rand::Rng;
+        struct Coin {
+            flips: Vec<bool>,
+        }
+        impl Protocol for Coin {
+            type Msg = u64;
+            fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+                let b = ctx.rng().gen::<bool>();
+                self.flips.push(b);
+                ctx.broadcast(b as u64);
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+                if ctx.round() <= 3 && !inbox.is_empty() {
+                    let b = ctx.rng().gen::<bool>();
+                    self.flips.push(b);
+                    ctx.broadcast(b as u64);
+                }
+            }
+        }
+        let g = generators::erdos_renyi_gnm(30, 60, 5);
+        let run = |seed| {
+            let mut net = Network::new(&g, MessageBudget::CONGEST, seed);
+            let s = net.run(|_, _| Coin { flips: vec![] }, 50).unwrap();
+            s.into_iter().map(|c| c.flips).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,346 @@
+//! Approximate distance oracles — the application domain the paper's
+//! conclusion points at.
+//!
+//! *"Perhaps the most interesting applications of spanners are in
+//! constructing distance labeling schemes, approximate distance oracles,
+//! and compact routing tables"* (Pettie, Sect. 5). This crate implements
+//! the canonical such structure, the **Thorup–Zwick oracle** \[38\]:
+//! O(k·n^{1+1/k}) space, O(k) query time, stretch 2k−1 — and the
+//! (2k−1)-spanner it induces (the union of the bunch shortest paths),
+//! which is the "same girth-bound tradeoff" the paper's open problems
+//! measure everything against.
+//!
+//! The oracle construction reuses the level-sampling idiom shared with the
+//! Fibonacci spanner: `A_0 = V ⊇ A_1 ⊇ … ⊇ A_{k−1}`, sampling probability
+//! n^{−1/k} per level, with *witnesses* `p_i(v)` (nearest `A_i` vertex,
+//! min-id tie-break) and *bunches*
+//! `B(v) = ∪_i { w ∈ A_i \ A_{i+1} : δ(w, v) < δ(v, A_{i+1}) }`.
+
+pub mod routing;
+
+pub use routing::{Address, RoutingScheme};
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use spanner_graph::distance::UNREACHABLE;
+use spanner_graph::traversal::multi_source_bfs;
+use spanner_graph::{EdgeSet, Graph, NodeId};
+use spanner_netsim::rng::node_rng;
+use ultrasparse::Spanner;
+
+/// A Thorup–Zwick approximate distance oracle with stretch 2k−1.
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    k: u32,
+    /// `witness[i][v]` = (distance to A_i, p_i(v)); `None` if A_i is
+    /// unreachable from v (or empty).
+    witness: Vec<Vec<Option<(u32, NodeId)>>>,
+    /// Bunch of every vertex: sampled vertex → exact distance.
+    bunch: Vec<HashMap<NodeId, u32>>,
+    /// Edges of the induced (2k−1)-spanner (union of bunch/witness
+    /// shortest-path trees).
+    spanner_edges: EdgeSet,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle with `k` levels. Deterministic in `seed`.
+    ///
+    /// Expected preprocessing O(k·m·n^{1/k})-ish (truncated BFS per
+    /// sampled vertex); expected size O(k·n^{1+1/k}).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn build(g: &Graph, k: u32, seed: u64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let n = g.node_count();
+        let p = (n.max(2) as f64).powf(-1.0 / k as f64);
+
+        // Level of each vertex: largest i with v ∈ A_i.
+        let level: Vec<u32> = g
+            .nodes()
+            .map(|v| {
+                let mut rng = node_rng(seed, v.0, 3);
+                let mut l = 0;
+                for _ in 1..k {
+                    if rng.gen::<f64>() < p {
+                        l += 1;
+                    } else {
+                        break;
+                    }
+                }
+                l
+            })
+            .collect();
+
+        // Witnesses per level (multi-source BFS with min-id attribution).
+        let mut witness: Vec<Vec<Option<(u32, NodeId)>>> = Vec::with_capacity(k as usize);
+        for i in 0..k {
+            let sources: Vec<NodeId> = g.nodes().filter(|v| level[v.index()] >= i).collect();
+            let bfs = multi_source_bfs(g, &sources);
+            witness.push(
+                g.nodes()
+                    .map(|v| {
+                        bfs.dist[v.index()]
+                            .map(|d| (d, bfs.source[v.index()].expect("attributed")))
+                    })
+                    .collect(),
+            );
+        }
+
+        // Bunches: for each w at exactly level i, truncated BFS keeping
+        // vertices v with δ(w, v) < δ(v, A_{i+1}); record parent edges for
+        // the induced spanner.
+        let mut bunch: Vec<HashMap<NodeId, u32>> = vec![HashMap::new(); n];
+        let mut spanner_edges = EdgeSet::new(g);
+        let mut dist = vec![u32::MAX; n];
+        let mut parent: Vec<NodeId> = vec![NodeId(0); n];
+        let mut touched: Vec<usize> = Vec::new();
+        for w in g.nodes() {
+            let i = level[w.index()];
+            // δ(v, A_{i+1}) truncation; the top level has no truncation.
+            let trunc: Option<&Vec<Option<(u32, NodeId)>>> = witness.get(i as usize + 1);
+            debug_assert!(touched.is_empty());
+            dist[w.index()] = 0;
+            touched.push(w.index());
+            let mut queue = std::collections::VecDeque::from([w]);
+            while let Some(x) = queue.pop_front() {
+                let dx = dist[x.index()];
+                for &(y, _) in g.neighbors(x) {
+                    if dist[y.index()] != u32::MAX {
+                        if dist[y.index()] == dx + 1 && x < parent[y.index()] {
+                            parent[y.index()] = x;
+                        }
+                        continue;
+                    }
+                    // Truncation: keep y iff δ(w,y) < δ(y, A_{i+1}).
+                    let keep = match trunc {
+                        None => true,
+                        Some(t) => match t[y.index()] {
+                            None => true,
+                            Some((dnext, _)) => dx + 1 < dnext,
+                        },
+                    };
+                    if keep {
+                        dist[y.index()] = dx + 1;
+                        parent[y.index()] = x;
+                        touched.push(y.index());
+                        queue.push_back(y);
+                    }
+                }
+            }
+            for &vi in &touched {
+                if vi != w.index() {
+                    bunch[vi].insert(w, dist[vi]);
+                    let v = NodeId(vi as u32);
+                    let e = g.find_edge(v, parent[vi]).expect("tree edge");
+                    spanner_edges.insert(e);
+                }
+                dist[vi] = u32::MAX;
+            }
+            touched.clear();
+        }
+        // Witness paths: each v keeps an edge toward each p_i(v) tree
+        // (needed so queries are realizable inside the spanner).
+        for i in 0..k as usize {
+            for v in g.nodes() {
+                let Some((d, src)) = witness[i][v.index()] else { continue };
+                if d == 0 {
+                    continue;
+                }
+                let parent = g
+                    .neighbor_ids(v)
+                    .filter(|u| {
+                        witness[i][u.index()]
+                            .is_some_and(|(du, su)| du + 1 == d && su == src)
+                    })
+                    .min()
+                    .expect("witness parent exists");
+                spanner_edges.insert(g.find_edge(v, parent).expect("edge"));
+            }
+        }
+
+        DistanceOracle {
+            k,
+            witness,
+            bunch,
+            spanner_edges,
+        }
+    }
+
+    /// The stretch parameter: queries return at most (2k−1)·δ(u, v).
+    pub fn stretch(&self) -> u32 {
+        2 * self.k - 1
+    }
+
+    /// Total bunch entries — the oracle's space, up to the O(k·n) witness
+    /// arrays.
+    pub fn size(&self) -> usize {
+        self.bunch.iter().map(HashMap::len).sum()
+    }
+
+    /// Estimated distance between `u` and `v`: exact distances compose as
+    /// `δ(w, u) + δ(w, v)` for the first witness `w` of one endpoint lying
+    /// in the other's bunch. Returns `u32::MAX` for disconnected pairs.
+    pub fn query(&self, mut u: NodeId, mut v: NodeId) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut w = u;
+        let mut dwu = 0u32;
+        for i in 0..self.k as usize {
+            // Invariant: w = p_i(u) with δ(w, u) = dwu.
+            if w == v {
+                return dwu;
+            }
+            if let Some(&dwv) = self.bunch[v.index()].get(&w) {
+                return dwu + dwv;
+            }
+            if i + 1 == self.k as usize {
+                break;
+            }
+            std::mem::swap(&mut u, &mut v);
+            match self.witness[i + 1][u.index()] {
+                Some((d, s)) => {
+                    dwu = d;
+                    w = s;
+                }
+                None => return UNREACHABLE,
+            }
+        }
+        UNREACHABLE
+    }
+
+    /// The (2k−1)-spanner induced by the oracle's shortest-path trees.
+    pub fn to_spanner(&self) -> Spanner {
+        Spanner::from_edges(self.spanner_edges.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spanner_graph::distance::Apsp;
+    use spanner_graph::generators;
+
+    fn check_oracle(g: &Graph, k: u32, seed: u64) {
+        let oracle = DistanceOracle::build(g, k, seed);
+        let apsp = Apsp::new(g);
+        let stretch = oracle.stretch() as u64;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let exact = apsp.dist(u, v);
+                let est = oracle.query(u, v);
+                if exact == UNREACHABLE {
+                    assert_eq!(est, UNREACHABLE, "({u},{v})");
+                } else {
+                    assert!(est as u64 >= exact as u64, "({u},{v}): est < exact");
+                    assert!(
+                        est as u64 <= stretch * exact as u64,
+                        "({u},{v}): est {est} > {stretch} * {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_guarantee_small_graphs() {
+        for (seed, k) in [(1u64, 2u32), (2, 3), (3, 4)] {
+            let g = generators::connected_gnm(120, 600, seed);
+            check_oracle(&g, k, seed + 10);
+        }
+    }
+
+    #[test]
+    fn stretch_on_structured_graphs() {
+        check_oracle(&generators::grid(9, 11), 2, 5);
+        check_oracle(&generators::cycle(60), 3, 6);
+        check_oracle(&generators::caveman(8, 8, 5, 2), 2, 7);
+    }
+
+    #[test]
+    fn disconnected_pairs() {
+        let g = Graph::from_edges(6, [(0u32, 1), (1, 2), (3, 4), (4, 5)]);
+        let oracle = DistanceOracle::build(&g, 2, 1);
+        assert_eq!(oracle.query(NodeId(0), NodeId(3)), UNREACHABLE);
+        assert!(oracle.query(NodeId(0), NodeId(2)) >= 2);
+    }
+
+    #[test]
+    fn k1_is_exact() {
+        // k = 1: every vertex's bunch is everything — exact distances.
+        let g = generators::connected_gnm(80, 300, 4);
+        let oracle = DistanceOracle::build(&g, 1, 2);
+        let apsp = Apsp::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(oracle.query(u, v), apsp.dist(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn size_scales_with_k() {
+        let g = generators::connected_gnm(2_000, 30_000, 9);
+        let o2 = DistanceOracle::build(&g, 2, 3);
+        let o4 = DistanceOracle::build(&g, 4, 3);
+        let n = g.node_count() as f64;
+        // k = 2: E[size] ~ k n^{3/2}; generous constant.
+        assert!(
+            (o2.size() as f64) < 6.0 * n.powf(1.5),
+            "k=2 size {}",
+            o2.size()
+        );
+        // Larger k is smaller (asymptotically); allow noise.
+        assert!(
+            (o4.size() as f64) < 1.2 * o2.size() as f64,
+            "k=4 {} vs k=2 {}",
+            o4.size(),
+            o2.size()
+        );
+    }
+
+    #[test]
+    fn induced_spanner_has_oracle_stretch() {
+        let g = generators::connected_gnm(200, 1_200, 6);
+        let k = 2;
+        let oracle = DistanceOracle::build(&g, k, 8);
+        let s = oracle.to_spanner();
+        assert!(s.is_spanning(&g));
+        let r = s.stretch_exact(&g);
+        assert!(
+            r.satisfies_multiplicative((2 * k - 1) as f64),
+            "spanner stretch {}",
+            r.max_multiplicative
+        );
+    }
+
+    #[test]
+    fn query_symmetric_enough() {
+        // The TZ query is not literally symmetric, but both directions
+        // must satisfy the stretch bound; check they agree on a sample.
+        let g = generators::connected_gnm(150, 700, 3);
+        let oracle = DistanceOracle::build(&g, 3, 4);
+        let apsp = Apsp::new(&g);
+        for (a, b) in [(0u32, 97), (5, 60), (33, 149)] {
+            let (u, v) = (NodeId(a), NodeId(b));
+            let exact = apsp.dist(u, v) as u64;
+            for est in [oracle.query(u, v), oracle.query(v, u)] {
+                assert!(est as u64 >= exact);
+                assert!(est as u64 <= 5 * exact);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::connected_gnm(100, 400, 2);
+        let a = DistanceOracle::build(&g, 2, 9);
+        let b = DistanceOracle::build(&g, 2, 9);
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.query(NodeId(0), NodeId(50)), b.query(NodeId(0), NodeId(50)));
+    }
+}

@@ -1,0 +1,64 @@
+//! Distance-oracle scenario — the application the paper's conclusion
+//! highlights: answer approximate distance queries from a compact
+//! structure instead of running BFS per query.
+//!
+//! ```text
+//! cargo run --release --example distance_oracle
+//! ```
+
+use ultrasparse_spanners::graph::distance::Apsp;
+use ultrasparse_spanners::graph::{generators, NodeId};
+use ultrasparse_spanners::oracle::DistanceOracle;
+
+fn main() {
+    let g = generators::connected_gnm(2_000, 30_000, 3);
+    println!(
+        "graph: {} nodes, {} edges ({} bytes as an exact distance matrix)",
+        g.node_count(),
+        g.edge_count(),
+        4 * g.node_count() * g.node_count()
+    );
+
+    for k in [2u32, 3] {
+        let oracle = DistanceOracle::build(&g, k, 9);
+        println!(
+            "\nThorup-Zwick oracle, k = {k}: stretch {}, {} bunch entries ({:.2} per node)",
+            oracle.stretch(),
+            oracle.size(),
+            oracle.size() as f64 / g.node_count() as f64
+        );
+
+        // Evaluate query quality on exact distances.
+        let apsp = Apsp::new(&g);
+        let (mut worst, mut sum, mut count) = (1.0f64, 0.0f64, 0u32);
+        for a in (0..g.node_count() as u32).step_by(37) {
+            for b in (1..g.node_count() as u32).step_by(53) {
+                if a == b {
+                    continue;
+                }
+                let exact = apsp.dist(NodeId(a), NodeId(b)) as f64;
+                let est = oracle.query(NodeId(a), NodeId(b)) as f64;
+                let stretch = est / exact;
+                worst = worst.max(stretch);
+                sum += stretch;
+                count += 1;
+            }
+        }
+        println!(
+            "queries: {count}, worst stretch {:.2} (guarantee {}), mean stretch {:.2}",
+            worst,
+            oracle.stretch(),
+            sum / count as f64
+        );
+        assert!(worst <= oracle.stretch() as f64 + 1e-9);
+
+        // The oracle's shortest-path trees double as a (2k-1)-spanner.
+        let spanner = oracle.to_spanner();
+        assert!(spanner.is_spanning(&g));
+        println!(
+            "induced (2k-1)-spanner: {} edges ({:.1}% of the graph)",
+            spanner.len(),
+            100.0 * spanner.len() as f64 / g.edge_count() as f64
+        );
+    }
+}

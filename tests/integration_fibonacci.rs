@@ -1,0 +1,82 @@
+//! Cross-crate integration: Fibonacci spanners end to end, including the
+//! analytical envelope (Theorem 7) and the sequential ≡ distributed
+//! equivalence under unbounded messages.
+
+use ultrasparse_spanners::core::fibonacci::{
+    self, analysis::distortion_envelope, FibonacciParams,
+};
+use ultrasparse_spanners::graph::{generators, Graph};
+
+fn envelope_ok(g: &Graph, p: &FibonacciParams, s: &ultrasparse_spanners::core::Spanner) {
+    let viol = s.check_envelope_sampled(g, 1_500, 7, |d| {
+        distortion_envelope(p.order, p.ell, d as u64)
+    });
+    assert!(viol.is_none(), "envelope violated: {viol:?}");
+}
+
+#[test]
+fn fibonacci_across_graph_families() {
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("gnm", generators::connected_gnm(700, 4_000, 1)),
+        ("grid", generators::grid(22, 25)),
+        ("caveman", generators::caveman(40, 12, 15, 3)),
+        ("preferential", generators::preferential_attachment(600, 5, 4)),
+    ];
+    for (label, g) in &graphs {
+        for order in 1..=2u32 {
+            let p = FibonacciParams::new(g.node_count(), order, 0.5, 0).unwrap();
+            let s = fibonacci::build_sequential(g, &p, 13);
+            assert!(s.is_spanning(g), "{label} o={order}");
+            envelope_ok(g, &p, &s);
+        }
+    }
+}
+
+#[test]
+fn distributed_equals_sequential_without_budget() {
+    for (seed, g) in [
+        (1u64, generators::connected_gnm(350, 1_400, 5)),
+        (2, generators::grid(15, 18)),
+    ] {
+        let p = FibonacciParams::new(g.node_count(), 2, 0.5, 0).unwrap();
+        let seq = fibonacci::build_sequential(&g, &p, seed);
+        let dist = fibonacci::distributed::build_distributed(&g, &p, seed).expect("run");
+        assert_eq!(
+            seq.edges.iter().collect::<Vec<_>>(),
+            dist.edges.iter().collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn bounded_messages_stay_correct() {
+    let g = generators::connected_gnm(500, 3_000, 8);
+    for t in [2u32, 4] {
+        let p = FibonacciParams::new(500, 2, 0.5, t).unwrap();
+        let s = fibonacci::distributed::build_distributed(&g, &p, 3).expect("run");
+        assert!(s.is_spanning(&g), "t={t}");
+        envelope_ok(&g, &p, &s);
+        let m = s.metrics.unwrap();
+        let cap = fibonacci::distributed::theorem8_budget(500, t)
+            .limit()
+            .unwrap();
+        assert!(m.max_message_words <= cap, "t={t}");
+    }
+}
+
+#[test]
+fn epsilon_controls_long_range_stretch() {
+    // Smaller epsilon → larger ell → better long-range guarantee; check
+    // the guarantee function itself is monotone and the spanner follows.
+    let g = generators::caveman(80, 10, 0, 2);
+    let n = g.node_count();
+    let tight = FibonacciParams::new(n, 2, 0.25, 0).unwrap();
+    let loose = FibonacciParams::new(n, 2, 1.0, 0).unwrap();
+    assert!(tight.ell > loose.ell);
+    let st = fibonacci::build_sequential(&g, &tight, 4);
+    let sl = fibonacci::build_sequential(&g, &loose, 4);
+    assert!(st.is_spanning(&g) && sl.is_spanning(&g));
+    // The tighter parameterization keeps at least as many edges.
+    assert!(st.len() >= sl.len());
+}

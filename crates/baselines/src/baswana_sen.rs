@@ -69,11 +69,12 @@ pub fn build_sequential(g: &Graph, params: &BaswanaSenParams, seed: u64) -> Span
     let mut cluster: Vec<Option<NodeId>> = g.nodes().map(Some).collect();
 
     for iter in 0..params.k.saturating_sub(1) {
-        let sampled =
-            |c: NodeId| -> bool { sampler.sampled(c, iter, p) };
+        let sampled = |c: NodeId| -> bool { sampler.sampled(c, iter, p) };
         let mut next: Vec<Option<NodeId>> = cluster.clone();
         for v in g.nodes() {
-            let Some(cv) = cluster[v.index()] else { continue };
+            let Some(cv) = cluster[v.index()] else {
+                continue;
+            };
             if sampled(cv) {
                 continue; // stays in its sampled cluster
             }
@@ -179,7 +180,10 @@ impl BsNode {
         adj.sort_unstable();
         adj.dedup_by_key(|&mut (c, _)| c);
         let _ = me;
-        match adj.iter().find(|&&(c, _)| self.sampler.sampled(c, iter, self.p)) {
+        match adj
+            .iter()
+            .find(|&&(c, _)| self.sampler.sampled(c, iter, self.p))
+        {
             Some(&(c, w)) => {
                 self.chosen.push(w);
                 self.cluster = Some(c);

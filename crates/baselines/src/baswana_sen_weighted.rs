@@ -36,29 +36,30 @@ pub fn build_weighted(g: &WeightedGraph, params: &BaswanaSenParams, seed: u64) -
 
     // Lightest live edge from v to each adjacent cluster:
     // (weight, edge, cluster center), sorted by cluster for dedup.
-    let adjacent =
-        |g: &WeightedGraph, retired: &[bool], cluster: &[Option<NodeId>], v: NodeId| {
-            let cv = cluster[v.index()];
-            let mut adj: Vec<(NodeId, u32, EdgeId)> = Vec::new();
-            for &(w, e) in g.graph().neighbors(v) {
-                if retired[e.index()] {
-                    continue;
-                }
-                if let Some(cw) = cluster[w.index()] {
-                    if Some(cw) != cv {
-                        adj.push((cw, g.weight(e), e));
-                    }
+    let adjacent = |g: &WeightedGraph, retired: &[bool], cluster: &[Option<NodeId>], v: NodeId| {
+        let cv = cluster[v.index()];
+        let mut adj: Vec<(NodeId, u32, EdgeId)> = Vec::new();
+        for &(w, e) in g.graph().neighbors(v) {
+            if retired[e.index()] {
+                continue;
+            }
+            if let Some(cw) = cluster[w.index()] {
+                if Some(cw) != cv {
+                    adj.push((cw, g.weight(e), e));
                 }
             }
-            adj.sort_unstable_by_key(|&(c, wt, e)| (c, wt, e));
-            adj.dedup_by_key(|&mut (c, _, _)| c);
-            adj
-        };
+        }
+        adj.sort_unstable_by_key(|&(c, wt, e)| (c, wt, e));
+        adj.dedup_by_key(|&mut (c, _, _)| c);
+        adj
+    };
 
     for iter in 0..params.k.saturating_sub(1) {
         let mut next = cluster.clone();
         for v in g.graph().nodes() {
-            let Some(cv) = cluster[v.index()] else { continue };
+            let Some(cv) = cluster[v.index()] else {
+                continue;
+            };
             if sampler.sampled(cv, iter, p) {
                 continue;
             }

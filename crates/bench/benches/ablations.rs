@@ -47,9 +47,15 @@ fn bench_girth_vs_clustering(c: &mut Criterion) {
     group.bench_function("clustering", |b| {
         b.iter(|| build_sequential(&g, &params, 3))
     });
-    group.bench_function("girth_greedy", |b| b.iter(|| greedy::linear_size_skeleton(&g)));
+    group.bench_function("girth_greedy", |b| {
+        b.iter(|| greedy::linear_size_skeleton(&g))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_contraction_ablation, bench_girth_vs_clustering);
+criterion_group!(
+    benches,
+    bench_contraction_ablation,
+    bench_girth_vs_clustering
+);
 criterion_main!(benches);

@@ -50,9 +50,8 @@ fn main() {
     for b in &profile {
         // Subsample the profile rows: print d = 1, 2, and near powers.
         let lambda = (b.dist as f64).powf(1.0 / order as f64);
-        let is_interesting = b.dist <= 4
-            || (lambda.round() - lambda).abs() < 0.05
-            || b.dist >= last_bucket * 2;
+        let is_interesting =
+            b.dist <= 4 || (lambda.round() - lambda).abs() < 0.05 || b.dist >= last_bucket * 2;
         if !is_interesting || b.pairs < 3 {
             continue;
         }

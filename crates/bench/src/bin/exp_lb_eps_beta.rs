@@ -42,11 +42,23 @@ fn main() {
         let g = Gadget::build(params);
         let mut total = 0u64;
         for seed in 0..trials {
-            let sel = select(&g, Strategy::GenerousCritical { keep_fraction: keep }, seed);
+            let sel = select(
+                &g,
+                Strategy::GenerousCritical {
+                    keep_fraction: keep,
+                },
+                seed,
+            );
             total += measure_spine_distortion(&g, &sel).additive;
         }
         let measured = total as f64 / trials as f64;
-        let sel0 = select(&g, Strategy::GenerousCritical { keep_fraction: keep }, 0);
+        let sel0 = select(
+            &g,
+            Strategy::GenerousCritical {
+                keep_fraction: keep,
+            },
+            0,
+        );
         let avg = measure_average_distortion(&g, &sel0, scaled(60, 20), 3);
         table.row([
             tau.to_string(),

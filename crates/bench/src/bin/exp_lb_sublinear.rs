@@ -43,7 +43,13 @@ fn main() {
         let keep = 0.25;
         let mut total = 0u64;
         for seed in 0..trials {
-            let sel = select(&g, Strategy::GenerousCritical { keep_fraction: keep }, seed);
+            let sel = select(
+                &g,
+                Strategy::GenerousCritical {
+                    keep_fraction: keep,
+                },
+                seed,
+            );
             total += measure_spine_distortion(&g, &sel).additive;
         }
         let measured = total as f64 / trials as f64;

@@ -49,10 +49,7 @@ fn main() {
                 count += 1;
             }
         }
-        assert!(
-            worst <= (2 * k - 1) as f64 + 1e-9,
-            "k={k}: stretch {worst}"
-        );
+        assert!(worst <= (2 * k - 1) as f64 + 1e-9, "k={k}: stretch {worst}");
         table.row([
             k.to_string(),
             (2 * k - 1).to_string(),

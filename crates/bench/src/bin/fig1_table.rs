@@ -44,11 +44,11 @@ fn main() {
     ]);
 
     let add_row = |name: &str,
-                       guarantee: &str,
-                       msgs: &str,
-                       s: &ultrasparse::Spanner,
-                       secs: f64,
-                       table: &mut Table| {
+                   guarantee: &str,
+                   msgs: &str,
+                   s: &ultrasparse::Spanner,
+                   secs: f64,
+                   table: &mut Table| {
         let r = s.stretch_sampled(&g, pairs, 7);
         assert!(s.is_spanning(&g), "{name} must span");
         let (rounds, words) = match &s.metrics {
@@ -72,11 +72,25 @@ fn main() {
     let klog = (n as f64).log2().ceil() as u32;
 
     let (s, secs) = timed(|| bfs_skeleton::build_distributed(&g, seed, 10 * n as u32).unwrap());
-    add_row("BFS forest", "connectivity only", "2 words", &s, secs, &mut table);
+    add_row(
+        "BFS forest",
+        "connectivity only",
+        "2 words",
+        &s,
+        secs,
+        &mut table,
+    );
 
     let bs2 = baswana_sen::BaswanaSenParams::new(2).unwrap();
     let (s, secs) = timed(|| baswana_sen::build_distributed(&g, &bs2, seed).unwrap());
-    add_row("Baswana-Sen k=2 [10]", "3-spanner, O(n^1.5)", "2 words", &s, secs, &mut table);
+    add_row(
+        "Baswana-Sen k=2 [10]",
+        "3-spanner, O(n^1.5)",
+        "2 words",
+        &s,
+        secs,
+        &mut table,
+    );
 
     let bsl = baswana_sen::BaswanaSenParams::new(klog).unwrap();
     let (s, secs) = timed(|| baswana_sen::build_distributed(&g, &bsl, seed).unwrap());

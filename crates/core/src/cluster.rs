@@ -225,7 +225,9 @@ impl<'g> ContractionState<'g> {
 
         // 3. Apply decisions to every member vertex.
         for v in 0..self.sv_center.len() {
-            let Some(sv) = self.sv_center[v] else { continue };
+            let Some(sv) = self.sv_center[v] else {
+                continue;
+            };
             match decisions.get(&sv) {
                 Some(Decision::Stay) | None => {}
                 Some(Decision::Join(c)) => self.cluster_center[v] = c.0,
@@ -279,15 +281,13 @@ impl<'g> ContractionState<'g> {
         }
         let mut max_radius = 0u64;
         for (&center, members) in &by_cluster {
-            let member_set: std::collections::HashSet<NodeId> =
-                members.iter().copied().collect();
+            let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
             assert!(
                 member_set.contains(&center),
                 "{center} is not a member of its own cluster"
             );
             // BFS from the center inside the member set.
-            let mut dist: std::collections::HashMap<NodeId, u64> =
-                std::collections::HashMap::new();
+            let mut dist: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
             dist.insert(center, 0);
             let mut q = VecDeque::from([center]);
             while let Some(u) = q.pop_front() {

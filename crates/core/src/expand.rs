@@ -208,10 +208,7 @@ mod tests {
         assert_ne!(s.uniform(NodeId(3), 1), s.uniform(NodeId(3), 2));
         assert_ne!(s.uniform(NodeId(3), 1), s.uniform(NodeId(4), 1));
         // Empirical mean of uniforms is ~0.5.
-        let mean: f64 = (0..10_000)
-            .map(|i| s.uniform(NodeId(i), 0))
-            .sum::<f64>()
-            / 10_000.0;
+        let mean: f64 = (0..10_000).map(|i| s.uniform(NodeId(i), 0)).sum::<f64>() / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 

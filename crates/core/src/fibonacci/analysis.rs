@@ -32,8 +32,8 @@ pub fn recurrence(lambda: u64, i: u32) -> (f64, f64) {
         let lk = l.powi(k as i32);
         let lk2 = l.powi(k as i32 - 2);
         let i_next = i_cur + 2.0 * i_prev + lk + (l - 1.0) * lk2;
-        let c_next = (l * c_cur)
-            .max((l - 1.0) * c_cur + 2.0 * (i_cur + i_prev) + l.powi(k as i32 - 1));
+        let c_next =
+            (l * c_cur).max((l - 1.0) * c_cur + 2.0 * (i_cur + i_prev) + l.powi(k as i32 - 1));
         i_prev = i_cur;
         i_cur = i_next;
         c_prev = c_cur;
@@ -161,7 +161,7 @@ mod tests {
     fn stretch_stages() {
         let o = 3;
         let ell = 40; // large enough to allow λ up to 38
-        // Stage "tending to 3": at λ = 30, stretch ≤ 3 + (6λ−2)/(λ(λ−2))
+                      // Stage "tending to 3": at λ = 30, stretch ≤ 3 + (6λ−2)/(λ(λ−2))
         let d = 30u64.pow(o);
         let s = multiplicative_stretch(o, ell, d);
         let c30 = 3.0 + (6.0 * 30.0 - 2.0) / (30.0 * 28.0);
@@ -188,10 +188,7 @@ mod tests {
         let mut last = 0.0;
         for d in 0..2_000u64 {
             let e = distortion_envelope(o, ell, d);
-            assert!(
-                e + 1e-9 >= last,
-                "envelope dropped at d={d}: {e} < {last}"
-            );
+            assert!(e + 1e-9 >= last, "envelope dropped at d={d}: {e} < {last}");
             assert!(e + 1e-9 >= d as f64, "envelope below identity at {d}");
             last = e;
         }

@@ -39,7 +39,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
-use spanner_netsim::{Ctx, MessageBudget, MessageSize, Network, Protocol, RunError};
+use spanner_netsim::{
+    Ctx, MessageBudget, MessageSize, Network, ParallelNetwork, Protocol, RunError,
+};
 
 use crate::fibonacci::params::FibonacciParams;
 use crate::fibonacci::sequential::sample_levels;
@@ -121,8 +123,8 @@ impl FibConfig {
             let pr = params.ball_radius(i - 1).min(cap) as u32;
             // Expected ball content: 4·(q_i/q_{i+1})·ln n (the paper's
             // message-length bound); drives the token-drain window.
-            let q_ratio = params.level_probability(i)
-                / params.level_probability(i + 1).max(1.0 / n as f64);
+            let q_ratio =
+                params.level_probability(i) / params.level_probability(i + 1).max(1.0 / n as f64);
             let expected_ball = (4.0 * q_ratio * ln_n).ceil() as usize + 1;
             let drain = if batch == usize::MAX {
                 1
@@ -254,9 +256,7 @@ impl Protocol for FibNode {
                         // Latest report per neighbor (it only improves).
                         self.nbr_near.insert(*from, (*dist, *src));
                         let cand = (*dist + 1, *src);
-                        if *dist < w.parent_radius
-                            && self.near_best.is_none_or(|b| cand < b)
-                        {
+                        if *dist < w.parent_radius && self.near_best.is_none_or(|b| cand < b) {
                             self.near_best = Some(cand);
                         }
                     } else if in_trunc {
@@ -313,11 +313,7 @@ impl Protocol for FibNode {
         // rebroadcasts improvements; at the end, mark the parent edge.
         if t == w.parent.0 {
             self.nbr_near.clear();
-            self.near_best = if self.level >= i {
-                Some((0, me))
-            } else {
-                None
-            };
+            self.near_best = if self.level >= i { Some((0, me)) } else { None };
             self.near_sent = None;
         }
         if t >= w.parent.0 && t < w.parent.1 {
@@ -361,11 +357,7 @@ impl Protocol for FibNode {
 
         // Truncation stage: flood for V_{i+1}.
         if t == w.trunc.0 {
-            self.trunc_best = if self.level > i {
-                Some((0, me))
-            } else {
-                None
-            };
+            self.trunc_best = if self.level > i { Some((0, me)) } else { None };
             self.trunc_sent = None;
         }
         if t >= w.trunc.0 && t < w.trunc.1 {
@@ -411,11 +403,14 @@ impl Protocol for FibNode {
             self.cease_pot = self.ceased.unwrap_or(u32::MAX);
             self.cease_sent = None;
         }
-        if t >= w.cease.0 && t < w.cease.1 && self.cease_pot != u32::MAX
-            && self.cease_sent.is_none_or(|s| self.cease_pot < s) {
-                ctx.broadcast(FibMsg::Cease(self.cease_pot));
-                self.cease_sent = Some(self.cease_pot);
-            }
+        if t >= w.cease.0
+            && t < w.cease.1
+            && self.cease_pot != u32::MAX
+            && self.cease_sent.is_none_or(|s| self.cease_pot < s)
+        {
+            ctx.broadcast(FibMsg::Cease(self.cease_pot));
+            self.cease_sent = Some(self.cease_pot);
+        }
 
         // Failure stage: detect and flood.
         if t == w.fail.0 {
@@ -557,6 +552,46 @@ pub fn build_distributed(
     })
 }
 
+/// Like [`build_distributed`], executed on `threads` worker threads.
+///
+/// Deterministic in `seed` and independent of `threads`: produces exactly
+/// the spanner and metrics of [`build_distributed`] (asserted in tests).
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_parallel(
+    g: &Graph,
+    params: &FibonacciParams,
+    seed: u64,
+    threads: usize,
+) -> Result<Spanner, RunError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let levels = sample_levels(g, params, seed);
+    let budget = theorem8_budget(n, params.t);
+    let cfg = Arc::new(FibConfig::build(params, n, budget, diameter_cap(g)));
+    let mut net = ParallelNetwork::new(g, budget, seed, threads);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run(
+        |v, _| FibNode::new(Arc::clone(&cfg), levels[v.index()]),
+        max_rounds,
+    )?;
+    let mut edges = EdgeSet::new(g);
+    for st in &states {
+        for &(a, b) in &st.selected {
+            let e = g.find_edge(a, b).expect("selected edges exist");
+            edges.insert(e);
+        }
+    }
+    Ok(Spanner {
+        edges,
+        metrics: Some(net.metrics()),
+    })
+}
+
 /// Planned timetable length in rounds for a concrete input graph (used by
 /// E9's tradeoff table).
 pub fn timetable_rounds(g: &Graph, params: &FibonacciParams) -> u32 {
@@ -604,9 +639,7 @@ mod tests {
         let p = params(196, 2, 0);
         let s = build_distributed(&g, &p, 5).unwrap();
         assert!(s.is_spanning(&g));
-        let viol = s.check_envelope_exact(&g, |d| {
-            distortion_envelope(p.order, p.ell, d as u64)
-        });
+        let viol = s.check_envelope_exact(&g, |d| distortion_envelope(p.order, p.ell, d as u64));
         assert!(viol.is_none(), "{viol:?}");
     }
 
@@ -661,5 +694,17 @@ mod tests {
         let a = build_distributed(&g, &p, 3).unwrap();
         let b = build_distributed(&g, &p, 3).unwrap();
         assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential() {
+        let g = generators::connected_gnm(250, 900, 12);
+        let p = params(250, 2, 3);
+        let seq = build_distributed(&g, &p, 4).unwrap();
+        for threads in [1, 2, 4] {
+            let par = build_distributed_parallel(&g, &p, 4, threads).unwrap();
+            assert_eq!(seq.edges, par.edges, "{threads} threads");
+            assert_eq!(seq.metrics, par.metrics, "{threads} threads");
+        }
     }
 }

@@ -276,7 +276,11 @@ mod tests {
         full.extend_from_slice(&bounded.q);
         full.push(1.0 / n as f64);
         for w in full.windows(2) {
-            assert!(w[0] / w[1] <= cap, "ratio {} exceeds cap {cap}", w[0] / w[1]);
+            assert!(
+                w[0] / w[1] <= cap,
+                "ratio {} exceeds cap {cap}",
+                w[0] / w[1]
+            );
         }
         // Order grows by at most t.
         assert!(bounded.order <= unbounded.order + 4);

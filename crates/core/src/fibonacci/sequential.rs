@@ -60,9 +60,8 @@ pub fn build_with_levels(g: &Graph, params: &FibonacciParams, levels: &[u32]) ->
         return Spanner::from_edges(edges);
     }
 
-    let members = |i: u32| -> Vec<NodeId> {
-        g.nodes().filter(|v| levels[v.index()] >= i).collect()
-    };
+    let members =
+        |i: u32| -> Vec<NodeId> { g.nodes().filter(|v| levels[v.index()] >= i).collect() };
 
     // Nearest-level-(i) data for i = 1..=order (+ the empty level o+1).
     // nearest[i][v] = (distance, attributed min-id source), if any.
@@ -79,7 +78,9 @@ pub fn build_with_levels(g: &Graph, params: &FibonacciParams, levels: &[u32]) ->
         let bfs = level_bfs[i as usize].as_ref().expect("computed above");
         let radius = params.ball_radius(i - 1);
         for v in g.nodes() {
-            let Some(d) = bfs.dist[v.index()] else { continue };
+            let Some(d) = bfs.dist[v.index()] else {
+                continue;
+            };
             if d == 0 || d as u64 > radius {
                 continue;
             }
@@ -262,9 +263,7 @@ mod tests {
         {
             let p = params(g.node_count(), 2);
             let s = build_sequential(g, &p, 11);
-            let viol = s.check_envelope_exact(g, |d| {
-                distortion_envelope(p.order, p.ell, d as u64)
-            });
+            let viol = s.check_envelope_exact(g, |d| distortion_envelope(p.order, p.ell, d as u64));
             assert!(viol.is_none(), "graph {gi}: {viol:?}");
         }
     }

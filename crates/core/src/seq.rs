@@ -138,7 +138,11 @@ impl Schedule {
         let mut stopped_early = false;
         'rounds: for i in 0.. {
             let s_i = seq[i.min(seq.len() - 1)];
-            let iterations = if i == 0 { 1 } else { (s_i + 1.0).min(1e9) as u64 };
+            let iterations = if i == 0 {
+                1
+            } else {
+                (s_i + 1.0).min(1e9) as u64
+            };
             let p = 1.0 / s_i;
             for j in 0..iterations {
                 // Would this iteration push the density over the threshold?
@@ -291,9 +295,9 @@ mod tests {
     fn lemma1_part3() {
         let s = tower_seq(4.0, 1e300, 4);
         let mut product = 1.0;
-        for i in 1..4 {
-            assert!(s[i] >= 2f64.powi(i as i32 + 1) * product, "i={i}");
-            product *= s[i];
+        for (i, &si) in s.iter().enumerate().take(4).skip(1) {
+            assert!(si >= 2f64.powi(i as i32 + 1) * product, "i={i}");
+            product *= si;
         }
     }
 
@@ -360,11 +364,7 @@ mod tests {
         // The schedule is short: O(log* n + ε^{-1} + log log n)-ish calls.
         for n in [100usize, 10_000, 1_000_000] {
             let sch = Schedule::theorem2(n, 4.0, 0.5);
-            assert!(
-                sch.num_calls() <= 40,
-                "n={n}: {} calls",
-                sch.num_calls()
-            );
+            assert!(sch.num_calls() <= 40, "n={n}: {} calls", sch.num_calls());
             assert!(sch.num_rounds() >= 2);
         }
     }

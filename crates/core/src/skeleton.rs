@@ -40,7 +40,7 @@ impl SkeletonParams {
     /// Returns a message if `d < 4` (the analysis needs D ≥ 4) or `eps` is
     /// outside (0, 1].
     pub fn new(d: f64, eps: f64) -> Result<Self, String> {
-        if !(d >= 4.0) {
+        if d.is_nan() || d < 4.0 {
             return Err(format!("density parameter D must be >= 4, got {d}"));
         }
         if !(eps > 0.0 && eps <= 1.0) {

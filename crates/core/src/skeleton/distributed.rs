@@ -45,7 +45,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
-use spanner_netsim::{Ctx, MessageBudget, MessageSize, Network, Protocol, RunError};
+use spanner_netsim::{
+    Ctx, MessageBudget, MessageSize, Network, ParallelNetwork, Protocol, RunError,
+};
 
 use crate::expand::ClusterSampler;
 use crate::seq::Schedule;
@@ -241,7 +243,9 @@ impl SkelNode {
 
     fn sampled(&self, cluster: NodeId) -> bool {
         let w = &self.cfg.windows[self.call];
-        self.cfg.sampler.sampled(cluster, self.call as u32, w.probability)
+        self.cfg
+            .sampler
+            .sampled(cluster, self.call as u32, w.probability)
     }
 
     /// Improve the running best candidate; returns true on improvement.
@@ -603,6 +607,46 @@ pub fn build_distributed(
     })
 }
 
+/// Like [`build_distributed`], executed on `threads` worker threads.
+///
+/// Deterministic in `seed` and independent of `threads`: produces exactly
+/// the spanner and metrics of [`build_distributed`] (asserted in tests),
+/// just faster on large inputs.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_parallel(
+    g: &Graph,
+    params: &SkeletonParams,
+    seed: u64,
+    threads: usize,
+) -> Result<Spanner, RunError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let schedule = params.schedule(n);
+    let budget = theorem2_budget(n, params.eps);
+    let words = budget.limit().expect("theorem2 budget is bounded");
+    let cfg = Arc::new(SkelConfig::build(&schedule, n, seed, words));
+    let mut net = ParallelNetwork::new(g, budget, seed, threads);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds)?;
+
+    let mut edges = EdgeSet::new(g);
+    for st in &states {
+        for &(a, b) in &st.selected {
+            let e = g.find_edge(a, b).expect("selected edges are graph edges");
+            edges.insert(e);
+        }
+    }
+    Ok(Spanner {
+        edges,
+        metrics: Some(net.metrics()),
+    })
+}
+
 /// Number of simulator rounds the timetable occupies for an n-node input —
 /// the deterministic round bound the protocol runs to (used by E3).
 pub fn timetable_rounds(n: usize, params: &SkeletonParams) -> u32 {
@@ -633,7 +677,10 @@ mod tests {
         let s = build_distributed(&g, &params, 3).unwrap();
         assert!(s.is_spanning(&g));
         let per_node = s.edges_per_node(&g);
-        assert!(per_node < 7.0, "distributed skeleton size {per_node:.2}/node");
+        assert!(
+            per_node < 7.0,
+            "distributed skeleton size {per_node:.2}/node"
+        );
     }
 
     #[test]
@@ -707,6 +754,18 @@ mod tests {
         let a = build_distributed(&g, &params, 5).unwrap();
         let b = build_distributed(&g, &params, 5).unwrap();
         assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential() {
+        let params = SkeletonParams::default();
+        let g = generators::connected_gnm(300, 1_500, 23);
+        let seq = build_distributed(&g, &params, 6).unwrap();
+        for threads in [1, 2, 4] {
+            let par = build_distributed_parallel(&g, &params, 6, threads).unwrap();
+            assert_eq!(seq.edges, par.edges, "{threads} threads");
+            assert_eq!(seq.metrics, par.metrics, "{threads} threads");
+        }
     }
 
     #[test]

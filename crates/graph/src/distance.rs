@@ -147,7 +147,11 @@ pub fn sample_pairs(g: &Graph, count: usize, seed: u64) -> Vec<SampledPair> {
         let d = bfs_distances(g, s);
         for t in targets {
             if let Some(x) = d[t.index()] {
-                out.push(SampledPair { u: s, v: t, dist: x });
+                out.push(SampledPair {
+                    u: s,
+                    v: t,
+                    dist: x,
+                });
             }
         }
     }

@@ -67,10 +67,9 @@ pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
 fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
     // Row u starts at offset u*n - u*(u+1)/2 - u ... solve by scan-free math:
     // offset(u) = u*(2n - u - 1)/2. Invert with floating point then fix up.
-    let mut u = ((2.0 * n as f64 - 1.0
-        - ((2.0 * n as f64 - 1.0).powi(2) - 8.0 * idx as f64).sqrt())
-        / 2.0)
-        .floor() as u64;
+    let mut u =
+        ((2.0 * n as f64 - 1.0 - ((2.0 * n as f64 - 1.0).powi(2) - 8.0 * idx as f64).sqrt()) / 2.0)
+            .floor() as u64;
     // Guard against floating point error.
     while offset(u + 1, n) <= idx {
         u += 1;
@@ -147,7 +146,10 @@ pub fn connected_gnm(n: usize, m: usize, seed: u64) -> Graph {
     assert!(n >= 1, "need at least one node");
     assert!(m + 1 >= n, "m = {m} too small to connect {n} nodes");
     let total = n as u64 * (n.saturating_sub(1)) as u64 / 2;
-    assert!(m as u64 <= total, "m = {m} exceeds the {total} possible edges");
+    assert!(
+        m as u64 <= total,
+        "m = {m} exceeds the {total} possible edges"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges: std::collections::HashSet<(u32, u32)> =
         std::collections::HashSet::with_capacity(m);
@@ -187,7 +189,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "degree must be < n");
     let mut rng = SmallRng::seed_from_u64(seed);
     for _attempt in 0..64 {
-        let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut ok = true;
         let mut edges = Vec::with_capacity(n * d / 2);
@@ -206,7 +210,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         }
     }
     // Fallback: pairing with collisions silently dropped (nearly regular).
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     stubs.shuffle(&mut rng);
     let edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
     Graph::from_edges(n, edges)
@@ -254,7 +260,10 @@ pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> Graph {
 /// cluster joined to the next by a single random edge, plus `extra` random
 /// inter-cluster edges.
 pub fn caveman(clusters: usize, size: usize, extra: usize, seed: u64) -> Graph {
-    assert!(clusters >= 1 && size >= 1, "need at least one nonempty cluster");
+    assert!(
+        clusters >= 1 && size >= 1,
+        "need at least one nonempty cluster"
+    );
     let n = clusters * size;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -291,7 +300,9 @@ pub fn caveman(clusters: usize, size: usize, extra: usize, seed: u64) -> Graph {
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     assert!((0.0..=1.5).contains(&radius), "radius must be in [0, 1.5]");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cell = radius.max(1e-9);
     let cells_per_side = (1.0 / cell).ceil() as i64;
     let key = |x: f64, y: f64| -> (i64, i64) {

@@ -103,7 +103,17 @@ mod tests {
         // 0 -a- 1; paths 0-2-1, 0-3-4-1, 0-5-6-7-1
         let g = Graph::from_edges(
             8,
-            [(0, 2), (2, 1), (0, 3), (3, 4), (4, 1), (0, 5), (5, 6), (6, 7), (7, 1)],
+            [
+                (0, 2),
+                (2, 1),
+                (0, 3),
+                (3, 4),
+                (4, 1),
+                (0, 5),
+                (5, 6),
+                (6, 7),
+                (7, 1),
+            ],
         );
         assert_eq!(girth(&g), Some(5));
     }

@@ -247,8 +247,8 @@ mod tests {
     fn bfs_on_path() {
         let g = path(6);
         let d = bfs_distances(&g, NodeId(0));
-        for v in 0..6 {
-            assert_eq!(d[v], Some(v as u32));
+        for (v, dv) in d.iter().enumerate() {
+            assert_eq!(*dv, Some(v as u32));
         }
     }
 

@@ -40,10 +40,7 @@ impl WeightedGraph {
             graph.edge_count(),
             "one weight per edge required"
         );
-        assert!(
-            weights.iter().all(|&w| w > 0),
-            "weights must be positive"
-        );
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
         WeightedGraph { graph, weights }
     }
 

@@ -119,9 +119,15 @@ pub struct Gadget {
 
 impl Gadget {
     /// Builds G(τ, λ, κ).
+    // The index loops below build the coupled `left`/`right`/`roles` tables
+    // in lockstep with the vertex counter; iterator forms obscure that.
+    #[allow(clippy::needless_range_loop)]
     pub fn build(params: GadgetParams) -> Self {
-        let (tau, lambda, kappa) =
-            (params.tau as usize, params.lambda as usize, params.kappa as usize);
+        let (tau, lambda, kappa) = (
+            params.tau as usize,
+            params.lambda as usize,
+            params.kappa as usize,
+        );
 
         // Count vertices: 2λκ block vertices, chains between blocks
         // (τ + (λ−1)(τ+4) internals per junction), and 2λ boundary chains
@@ -189,7 +195,13 @@ impl Gadget {
         for i in 0..kappa - 1 {
             chain(&mut b, &mut next, right[i][0], Some(left[i + 1][0]), tau);
             for j in 1..lambda {
-                chain(&mut b, &mut next, right[i][j], Some(left[i + 1][j]), tau + 4);
+                chain(
+                    &mut b,
+                    &mut next,
+                    right[i][j],
+                    Some(left[i + 1][j]),
+                    tau + 4,
+                );
             }
         }
         // Boundary chains.
@@ -336,7 +348,10 @@ mod tests {
         // Critical edges are block edges between row-0 endpoints.
         for (i, &e) in g.critical_edges.iter().enumerate() {
             let (u, v) = g.graph.endpoints(e);
-            let exp = (g.left[i][0].min(g.right[i][0]), g.left[i][0].max(g.right[i][0]));
+            let exp = (
+                g.left[i][0].min(g.right[i][0]),
+                g.left[i][0].max(g.right[i][0]),
+            );
             assert_eq!((u, v), exp);
         }
     }

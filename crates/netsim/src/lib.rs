@@ -43,6 +43,7 @@
 //! ```
 
 pub mod budget;
+pub mod csr;
 pub mod metrics;
 pub mod parallel;
 pub mod patterns;
@@ -50,5 +51,7 @@ pub mod rng;
 pub mod sync;
 
 pub use budget::{BudgetViolation, MessageBudget};
+pub use csr::CsrAdjacency;
 pub use metrics::RunMetrics;
+pub use parallel::{run_parallel, ParallelNetwork, ParallelOutcome};
 pub use sync::{Ctx, MessageSize, Network, Protocol, RunError};

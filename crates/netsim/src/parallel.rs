@@ -2,26 +2,42 @@
 //!
 //! Round-synchronous simulation parallelizes naturally: within a round every
 //! node reads only its inbox and private state, so nodes can be processed
-//! concurrently. This module runs the same [`Protocol`]
-//! semantics as [`Network::run`](crate::Network::run) across worker threads
-//! (crossbeam scoped threads), **deterministically**: per-node RNGs are
-//! derived from the master seed exactly as in the sequential executor and
-//! inboxes are sorted by sender, so the two executors produce identical
-//! final states (tested below).
+//! concurrently. [`ParallelNetwork`] runs the same [`Protocol`] semantics as
+//! [`Network::run`](crate::Network::run) across worker threads,
+//! **deterministically**: per-node RNGs are derived from the master seed
+//! exactly as in the sequential executor, inboxes are sorted by sender, and
+//! messages are routed in global sender order, so the two executors produce
+//! identical final states *and identical metrics* — including the partial
+//! accounting left behind by a failed run (tested below and in
+//! `tests/executor_parity.rs`).
+//!
+//! # Hot-path design
+//!
+//! The worker pool is created **once per run** with `std::thread::scope` and
+//! parked on a pair of round barriers; no threads are spawned per round.
+//! Each worker owns one contiguous chunk of nodes behind a `Mutex` (contended
+//! only at round boundaries, when the coordinator routes messages). Inboxes
+//! and outboxes are cleared and reused across rounds, so the steady-state
+//! loop performs no per-round heap allocation — mirroring the sequential
+//! executor's double-buffered arenas.
 //!
 //! Useful for big-n experiment sweeps; the sequential executor remains the
 //! reference implementation.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
 
 use rand::rngs::SmallRng;
 
 use spanner_graph::{Graph, NodeId};
 
 use crate::budget::{BudgetViolation, MessageBudget};
+use crate::csr::CsrAdjacency;
 use crate::metrics::RunMetrics;
 use crate::rng::node_rng;
 use crate::sync::{Ctx, MessageSize, Protocol, RunError};
 
-/// Outcome of a parallel run: final states plus cost accounting.
+/// Outcome of a [`run_parallel`] call: final states plus cost accounting.
 #[derive(Debug)]
 pub struct ParallelOutcome<P> {
     /// Final protocol states, indexed by node.
@@ -30,11 +46,321 @@ pub struct ParallelOutcome<P> {
     pub metrics: RunMetrics,
 }
 
+/// Everything one worker thread owns: a contiguous chunk of nodes with their
+/// RNGs, inboxes, and outboxes. Locked by the worker while a round executes
+/// and by the coordinator while messages are routed; the two phases are
+/// separated by barriers, so the lock is never contended.
+struct ChunkSlot<P: Protocol> {
+    nodes: Vec<P>,
+    rngs: Vec<SmallRng>,
+    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    outboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Duplicate-send stamps (indexed by *target* node, so length n).
+    seen: Vec<u64>,
+    stamp: u64,
+    /// Whether every node in this chunk reported [`Protocol::done`] after
+    /// the most recent round.
+    done: bool,
+}
+
+/// A synchronous network executed by a pool of worker threads.
+///
+/// The parallel counterpart of [`Network`](crate::Network): construct once,
+/// [`ParallelNetwork::run`] to quiescence, read [`ParallelNetwork::metrics`]
+/// afterwards — the metrics are retained even when `run` returns an error,
+/// with exactly the partial accounting the sequential executor would leave.
+pub struct ParallelNetwork<'g> {
+    graph: &'g Graph,
+    budget: MessageBudget,
+    seed: u64,
+    threads: usize,
+    metrics: RunMetrics,
+    adjacency: CsrAdjacency,
+}
+
+impl<'g> ParallelNetwork<'g> {
+    /// A parallel network on `graph` with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(graph: &'g Graph, budget: MessageBudget, seed: u64, threads: usize) -> Self {
+        ParallelNetwork::with_adjacency(
+            graph,
+            CsrAdjacency::from_graph(graph),
+            budget,
+            seed,
+            threads,
+        )
+    }
+
+    /// Like [`ParallelNetwork::new`], reusing an already-built adjacency
+    /// (e.g. one shared with a sequential [`Network`](crate::Network)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or if `adjacency` was built for a different
+    /// node count.
+    pub fn with_adjacency(
+        graph: &'g Graph,
+        adjacency: CsrAdjacency,
+        budget: MessageBudget,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        assert_eq!(
+            adjacency.node_count(),
+            graph.node_count(),
+            "adjacency built for a different graph"
+        );
+        ParallelNetwork {
+            graph,
+            budget,
+            seed,
+            threads,
+            metrics: RunMetrics::default(),
+            adjacency,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The message budget in force.
+    pub fn budget(&self) -> MessageBudget {
+        self.budget
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cost accounting of the most recent [`ParallelNetwork::run`] —
+    /// partial (but sequentially identical) if the run failed.
+    pub fn metrics(&self) -> RunMetrics {
+        self.metrics
+    }
+
+    /// The shared sorted adjacency.
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adjacency
+    }
+
+    /// Runs `factory`-created protocols to quiescence on the worker pool.
+    ///
+    /// Semantics are identical to [`Network::run`](crate::Network::run); in
+    /// particular the result is deterministic in `seed` and independent of
+    /// `threads`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::RoundLimit`] if not quiescent within `max_rounds`;
+    /// [`RunError::Budget`] if any message exceeds the budget. Either way
+    /// [`ParallelNetwork::metrics`] reflects everything accepted before the
+    /// error, matching the sequential executor word for word.
+    pub fn run<P, F>(&mut self, mut factory: F, max_rounds: u32) -> Result<Vec<P>, RunError>
+    where
+        P: Protocol + Send,
+        P::Msg: Send,
+        F: FnMut(NodeId, &mut SmallRng) -> P,
+    {
+        self.metrics = RunMetrics::default();
+        let n = self.graph.node_count();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+
+        let chunk = n.div_ceil(self.threads).max(1);
+        let nchunks = n.div_ceil(chunk);
+
+        // The factory runs on the coordinator, in node order, exactly as in
+        // the sequential executor — same RNG streams, same call sequence.
+        let slots: Vec<Mutex<ChunkSlot<P>>> = (0..nchunks)
+            .map(|ci| {
+                let lo = ci * chunk;
+                let hi = ((ci + 1) * chunk).min(n);
+                let mut rngs: Vec<SmallRng> =
+                    (lo..hi).map(|v| node_rng(self.seed, v as u32, 0)).collect();
+                let nodes: Vec<P> = (lo..hi)
+                    .map(|v| factory(NodeId(v as u32), &mut rngs[v - lo]))
+                    .collect();
+                Mutex::new(ChunkSlot {
+                    nodes,
+                    rngs,
+                    inboxes: (lo..hi).map(|_| Vec::new()).collect(),
+                    outboxes: (lo..hi).map(|_| Vec::new()).collect(),
+                    seen: vec![0u64; n],
+                    stamp: 0,
+                    done: false,
+                })
+            })
+            .collect();
+
+        let start = Barrier::new(nchunks + 1);
+        let finish = Barrier::new(nchunks + 1);
+        let stop = AtomicBool::new(false);
+        let round_no = AtomicU32::new(0);
+        let adjacency = &self.adjacency;
+        let budget = self.budget;
+        let metrics = &mut self.metrics;
+
+        let result: Result<(), RunError> = std::thread::scope(|scope| {
+            for (ci, slot) in slots.iter().enumerate() {
+                let (start, finish, stop, round_no) = (&start, &finish, &stop, &round_no);
+                let base = ci * chunk;
+                scope.spawn(move || loop {
+                    start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let round = round_no.load(Ordering::Acquire);
+                    let mut guard = slot.lock().expect("worker lock");
+                    let ChunkSlot {
+                        nodes,
+                        rngs,
+                        inboxes,
+                        outboxes,
+                        seen,
+                        stamp,
+                        done,
+                    } = &mut *guard;
+                    for i in 0..nodes.len() {
+                        let v = NodeId((base + i) as u32);
+                        // Sorted for free: the coordinator routes messages
+                        // in global ascending sender order (chunk by chunk,
+                        // node by node), so each inbox is already sorted.
+                        debug_assert!(inboxes[i].windows(2).all(|w| w[0].0 <= w[1].0));
+                        outboxes[i].clear();
+                        *stamp += 1;
+                        let mut ctx = Ctx::new_for_executor(
+                            v,
+                            n,
+                            round,
+                            adjacency.neighbors(v),
+                            &mut rngs[i],
+                            &mut outboxes[i],
+                            seen,
+                            *stamp,
+                        );
+                        if round == 0 {
+                            nodes[i].init(&mut ctx);
+                        } else {
+                            nodes[i].round(&mut ctx, &inboxes[i]);
+                        }
+                        inboxes[i].clear();
+                    }
+                    *done = nodes.iter().all(|p| p.done());
+                    drop(guard);
+                    finish.wait();
+                });
+            }
+
+            // Coordinator. Workers park on `start`; one final `start.wait()`
+            // with the stop flag raised releases them to exit, and the scope
+            // joins them on the way out.
+            let shutdown = || {
+                stop.store(true, Ordering::Release);
+                start.wait();
+            };
+
+            // Routes every outbox into its target inbox in global sender
+            // order (chunks are contiguous and ascending, so chunk order ×
+            // node order = node order). Budget checks and metric updates
+            // happen in that same order, which is what makes the partial
+            // accounting of a failed run identical to the sequential path.
+            let mut scratch: Vec<(NodeId, P::Msg)> = Vec::new();
+            let mut deliver =
+                |round: u32, metrics: &mut RunMetrics| -> Result<(u64, bool), BudgetViolation> {
+                    let mut guards: Vec<MutexGuard<'_, ChunkSlot<P>>> = slots
+                        .iter()
+                        .map(|m| m.lock().expect("route lock"))
+                        .collect();
+                    let mut in_flight = 0u64;
+                    for ci in 0..nchunks {
+                        for i in 0..guards[ci].nodes.len() {
+                            let sender = NodeId((ci * chunk + i) as u32);
+                            // Swap the outbox out so pushing into (possibly the
+                            // same) guard doesn't alias; capacities ping-pong
+                            // between `scratch` and the slot, so no allocation.
+                            std::mem::swap(&mut scratch, &mut guards[ci].outboxes[i]);
+                            for (to, msg) in scratch.drain(..) {
+                                let words = msg.words();
+                                if !budget.allows(words) {
+                                    return Err(BudgetViolation {
+                                        sender,
+                                        receiver: to,
+                                        round,
+                                        words,
+                                        budget,
+                                    });
+                                }
+                                metrics.messages += 1;
+                                metrics.words += words as u64;
+                                metrics.max_message_words = metrics.max_message_words.max(words);
+                                let tc = to.index() / chunk;
+                                let ti = to.index() - tc * chunk;
+                                guards[tc].inboxes[ti].push((sender, msg));
+                                in_flight += 1;
+                            }
+                        }
+                    }
+                    let all_done = guards.iter().all(|g| g.done);
+                    Ok((in_flight, all_done))
+                };
+
+            // Init phase (round 0).
+            start.wait();
+            finish.wait();
+            let (mut in_flight, mut all_done) = match deliver(0, metrics) {
+                Ok(v) => v,
+                Err(v) => {
+                    shutdown();
+                    return Err(RunError::Budget(v));
+                }
+            };
+
+            let mut round: u32 = 0;
+            loop {
+                if in_flight == 0 && all_done {
+                    shutdown();
+                    return Ok(());
+                }
+                if round >= max_rounds {
+                    shutdown();
+                    return Err(RunError::RoundLimit { max_rounds });
+                }
+                round += 1;
+                metrics.rounds = round;
+                round_no.store(round, Ordering::Release);
+                start.wait();
+                finish.wait();
+                (in_flight, all_done) = match deliver(round, metrics) {
+                    Ok(v) => v,
+                    Err(v) => {
+                        shutdown();
+                        return Err(RunError::Budget(v));
+                    }
+                };
+            }
+        });
+
+        result.map(|()| {
+            slots
+                .into_iter()
+                .flat_map(|m| m.into_inner().expect("slot poisoned").nodes)
+                .collect()
+        })
+    }
+}
+
 /// Runs `factory`-created protocols to quiescence using `threads` workers.
 ///
-/// Semantics are identical to [`Network::run`](crate::Network::run); in
-/// particular the result is deterministic in `seed` and independent of
-/// `threads`.
+/// Compatibility wrapper around [`ParallelNetwork`]; prefer the struct when
+/// you need [`ParallelNetwork::metrics`] after a failed run.
 ///
 /// # Errors
 ///
@@ -58,144 +384,12 @@ where
     P::Msg: Send,
     F: Fn(NodeId, &mut SmallRng) -> P + Sync,
 {
-    assert!(threads >= 1, "need at least one worker thread");
-    let n = graph.node_count();
-    let adjacency: Vec<Vec<NodeId>> = graph
-        .nodes()
-        .map(|v| {
-            let mut ns: Vec<NodeId> = graph.neighbor_ids(v).collect();
-            ns.sort_unstable();
-            ns
-        })
-        .collect();
-
-    let mut rngs: Vec<SmallRng> = (0..n as u32).map(|v| node_rng(seed, v, 0)).collect();
-    let mut nodes: Vec<P> = rngs
-        .iter_mut()
-        .enumerate()
-        .map(|(v, rng)| factory(NodeId(v as u32), rng))
-        .collect();
-
-    let mut metrics = RunMetrics::default();
-    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-
-    // Chunked parallel step: returns (per-sender outboxes).
-    // Each worker owns a contiguous slice of nodes.
-    let chunk = n.div_ceil(threads).max(1);
-
-    let step = |nodes: &mut [P],
-                rngs: &mut [SmallRng],
-                delivering: &mut [Vec<(NodeId, P::Msg)>],
-                round: u32|
-     -> Vec<Vec<(NodeId, P::Msg)>> {
-        let mut all_outboxes: Vec<Vec<(NodeId, P::Msg)>> = Vec::with_capacity(n);
-        if n == 0 {
-            return all_outboxes;
-        }
-        let results: Vec<Vec<Vec<(NodeId, P::Msg)>>> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let node_chunks = nodes.chunks_mut(chunk);
-            let rng_chunks = rngs.chunks_mut(chunk);
-            let del_chunks = delivering.chunks_mut(chunk);
-            for (ci, ((nchunk, rchunk), dchunk)) in
-                node_chunks.zip(rng_chunks).zip(del_chunks).enumerate()
-            {
-                let adjacency = &adjacency;
-                handles.push(scope.spawn(move |_| {
-                    let base = ci * chunk;
-                    let mut outboxes = Vec::with_capacity(nchunk.len());
-                    for (i, node) in nchunk.iter_mut().enumerate() {
-                        let v = base + i;
-                        let mut outbox = Vec::new();
-                        let mut inbox = std::mem::take(&mut dchunk[i]);
-                        inbox.sort_by_key(|&(s, _)| s);
-                        {
-                            let mut ctx = Ctx::new_for_executor(
-                                NodeId(v as u32),
-                                n,
-                                round,
-                                &adjacency[v],
-                                &mut rchunk[i],
-                                &mut outbox,
-                            );
-                            if round == 0 {
-                                node.init(&mut ctx);
-                            } else {
-                                node.round(&mut ctx, &inbox);
-                            }
-                        }
-                        outboxes.push(outbox);
-                    }
-                    outboxes
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope failed");
-        for mut chunk_out in results {
-            all_outboxes.append(&mut chunk_out);
-        }
-        all_outboxes
-    };
-
-    let mut round: u32 = 0;
-    let mut in_flight: u64;
-
-    // Init (round 0) then the main loop.
-    let mut fresh: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let outboxes = step(&mut nodes, &mut rngs, &mut fresh, 0);
-    in_flight = deliver(outboxes, &mut inboxes, budget, 0, &mut metrics)?;
-
-    loop {
-        if in_flight == 0 && nodes.iter().all(Protocol::done) {
-            break;
-        }
-        if round >= max_rounds {
-            return Err(RunError::RoundLimit { max_rounds });
-        }
-        round += 1;
-        metrics.rounds = round;
-        let mut delivering = std::mem::replace(&mut inboxes, (0..n).map(|_| Vec::new()).collect());
-        let outboxes = step(&mut nodes, &mut rngs, &mut delivering, round);
-        in_flight = deliver(outboxes, &mut inboxes, budget, round, &mut metrics)?;
-    }
-
+    let mut net = ParallelNetwork::new(graph, budget, seed, threads);
+    let states = net.run(factory, max_rounds)?;
     Ok(ParallelOutcome {
-        states: nodes,
-        metrics,
+        states,
+        metrics: net.metrics(),
     })
-}
-
-/// Validates and routes all outboxes into inboxes; returns messages sent.
-fn deliver<M: MessageSize>(
-    outboxes: Vec<Vec<(NodeId, M)>>,
-    inboxes: &mut [Vec<(NodeId, M)>],
-    budget: MessageBudget,
-    round: u32,
-    metrics: &mut RunMetrics,
-) -> Result<u64, RunError> {
-    let mut sent = 0u64;
-    for (v, outbox) in outboxes.into_iter().enumerate() {
-        let sender = NodeId(v as u32);
-        for (to, msg) in outbox {
-            let words = msg.words();
-            if !budget.allows(words) {
-                return Err(RunError::Budget(BudgetViolation {
-                    sender,
-                    receiver: to,
-                    round,
-                    words,
-                    budget,
-                }));
-            }
-            metrics.messages += 1;
-            metrics.words += words as u64;
-            metrics.max_message_words = metrics.max_message_words.max(words);
-            inboxes[to.index()].push((sender, msg));
-            sent += 1;
-        }
-    }
-    Ok(sent)
 }
 
 #[cfg(test)]
@@ -266,5 +460,47 @@ mod tests {
         let out = run_parallel(&g, MessageBudget::CONGEST, 1, |_, _| Quiet, 4, 3).unwrap();
         assert!(out.states.is_empty());
         assert_eq!(out.metrics.messages, 0);
+    }
+
+    #[test]
+    fn more_threads_than_nodes() {
+        let g = generators::path(3);
+        let out = run_parallel(
+            &g,
+            MessageBudget::Words(2),
+            5,
+            |v, _| MinIdBroadcast::new(v == NodeId(0), 10),
+            32,
+            16,
+        )
+        .unwrap();
+        assert!(out.states.iter().all(|s| s.nearest().is_some()));
+    }
+
+    /// A failed parallel run must leave the same partial metrics behind as
+    /// the sequential executor (the seed version dropped them entirely).
+    #[test]
+    fn metrics_retained_on_budget_violation() {
+        #[derive(Debug)]
+        struct FatSecond;
+        impl Protocol for FatSecond {
+            type Msg = Vec<u64>;
+            fn init(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+                ctx.broadcast(vec![1]);
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_, Vec<u64>>, _: &[(NodeId, Vec<u64>)]) {
+                if ctx.round() == 1 && ctx.me() == NodeId(2) {
+                    ctx.broadcast(vec![0; 9]); // over budget
+                }
+            }
+        }
+        let g = generators::cycle(6);
+        let mut seq = Network::new(&g, MessageBudget::Words(4), 3);
+        let seq_err = seq.run(|_, _| FatSecond, 16).unwrap_err();
+        let mut par = ParallelNetwork::new(&g, MessageBudget::Words(4), 3, 3);
+        let par_err = par.run(|_, _| FatSecond, 16).unwrap_err();
+        assert_eq!(seq_err, par_err);
+        assert_eq!(seq.metrics(), par.metrics());
+        assert!(seq.metrics().messages > 0); // genuinely partial, not empty
     }
 }

@@ -281,7 +281,11 @@ mod tests {
             match (got, reference.dist[v.index()]) {
                 (Some(info), Some(d)) => {
                     assert_eq!(info.dist, d, "distance at {v}");
-                    assert_eq!(Some(info.source), reference.source[v.index()], "source at {v}");
+                    assert_eq!(
+                        Some(info.source),
+                        reference.source[v.index()],
+                        "source at {v}"
+                    );
                 }
                 (None, None) => {}
                 (g2, r2) => panic!("mismatch at {v}: {g2:?} vs {r2:?}"),
@@ -296,8 +300,8 @@ mod tests {
         let states = net
             .run(|v, _| MinIdBroadcast::new(v.0 == 0, 3), 64)
             .unwrap();
-        for v in 0..10usize {
-            assert_eq!(states[v].nearest().is_some(), v <= 3, "node {v}");
+        for (v, st) in states.iter().enumerate() {
+            assert_eq!(st.nearest().is_some(), v <= 3, "node {v}");
         }
     }
 

@@ -24,11 +24,19 @@ pub fn splitmix64(state: &mut u64) -> u64 {
 ///
 /// Distinct (node, stream) pairs yield independent-looking streams; equal
 /// pairs yield identical streams.
+///
+/// `node` and `stream` are mixed through *separate* SplitMix64 steps rather
+/// than packed into one word: the old `(node << 32) | stream` packing made
+/// e.g. `(node=1, stream=0)` and `(node=0, stream=1 << 32)` collide — any
+/// stream index with bits at or above bit 32 could alias another node's
+/// stream. The two-step mix is injective over the full (u32, u64) domain.
 pub fn node_rng(master_seed: u64, node: u32, stream: u64) -> SmallRng {
     let mut s = master_seed ^ 0xA076_1D64_78BD_642F;
     let a = splitmix64(&mut s);
-    let mut t = a ^ ((node as u64) << 32 | stream);
-    let seed = splitmix64(&mut t) ^ splitmix64(&mut t);
+    let mut t = a ^ (node as u64);
+    let b = splitmix64(&mut t);
+    let mut u = b ^ stream;
+    let seed = splitmix64(&mut u) ^ splitmix64(&mut u);
     SmallRng::seed_from_u64(seed)
 }
 
@@ -67,6 +75,23 @@ mod tests {
         let mut a = node_rng(1, 2, 3);
         let mut b = node_rng(4, 2, 3);
         assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    /// Regression: the pre-fix `(node << 32) | stream` packing made these
+    /// (node, stream) pairs produce byte-identical RNGs.
+    #[test]
+    fn wide_stream_indices_do_not_alias_nodes() {
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let mut a = node_rng(seed, 1, 0);
+            let mut b = node_rng(seed, 0, 1u64 << 32);
+            let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+            let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+            assert_ne!(xs, ys, "seed {seed}");
+
+            let mut c = node_rng(seed, 7, 5);
+            let mut d = node_rng(seed, 0, (7u64 << 32) | 5);
+            assert_ne!(c.gen::<u64>(), d.gen::<u64>(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -10,12 +10,22 @@
 //! messages were sent and every node reports [`Protocol::done`] — or when
 //! the round cap is hit (an error: the paper's algorithms have hard round
 //! bounds and exceeding them is a bug, not a long run).
+//!
+//! # Hot-path design
+//!
+//! The round loop performs no per-round heap allocation in steady state:
+//! inboxes live in two arenas (`cur`/`next`) of per-node `Vec`s that are
+//! cleared and swapped each round, keeping their capacity; the outbox is one
+//! reused `Vec`; duplicate-send detection is a per-node stamp array
+//! ([`Ctx::send`] is O(log deg), [`Ctx::broadcast`] is O(deg)). Adjacency is
+//! a flat [`CsrAdjacency`] shared with the parallel executor.
 
 use rand::rngs::SmallRng;
 
 use spanner_graph::{Graph, NodeId};
 
 use crate::budget::{BudgetViolation, MessageBudget};
+use crate::csr::CsrAdjacency;
 use crate::metrics::RunMetrics;
 use crate::rng::node_rng;
 
@@ -91,10 +101,16 @@ pub struct Ctx<'a, M> {
     neighbors: &'a [NodeId],
     rng: &'a mut SmallRng,
     outbox: &'a mut Vec<(NodeId, M)>,
+    /// Duplicate-send detection: `seen[u] == stamp` iff a message to `u` was
+    /// queued by this node this round. The stamp is bumped per (node, round),
+    /// so the array never needs clearing — O(1) per send, no per-round work.
+    seen: &'a mut [u64],
+    stamp: u64,
 }
 
 impl<'a, M> Ctx<'a, M> {
     /// Internal constructor shared by the sequential and parallel executors.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new_for_executor(
         node: NodeId,
         n: usize,
@@ -102,6 +118,8 @@ impl<'a, M> Ctx<'a, M> {
         neighbors: &'a [NodeId],
         rng: &'a mut SmallRng,
         outbox: &'a mut Vec<(NodeId, M)>,
+        seen: &'a mut [u64],
+        stamp: u64,
     ) -> Self {
         Ctx {
             node,
@@ -110,6 +128,8 @@ impl<'a, M> Ctx<'a, M> {
             neighbors,
             rng,
             outbox,
+            seen,
+            stamp,
         }
     }
 
@@ -158,24 +178,38 @@ impl<'a, M> Ctx<'a, M> {
             self.node,
             to
         );
-        assert!(
-            !self.outbox.iter().any(|&(t, _)| t == to),
-            "{} queued two messages to {} in one round",
-            self.node,
-            to
-        );
+        self.mark_sent(to);
         self.outbox.push((to, msg));
     }
 
     /// Sends `msg` to every neighbor.
+    ///
+    /// Equivalent to [`Ctx::send`] per neighbor, but skips the per-neighbor
+    /// membership search: O(deg) total, which keeps a broadcast from a
+    /// degree-Δ hub linear instead of quadratic.
     pub fn broadcast(&mut self, msg: M)
     where
         M: Clone,
     {
-        for i in 0..self.neighbors.len() {
-            let to = self.neighbors[i];
-            self.send(to, msg.clone());
+        let neighbors = self.neighbors;
+        self.outbox.reserve(neighbors.len());
+        for &to in neighbors {
+            self.mark_sent(to);
+            self.outbox.push((to, msg.clone()));
         }
+    }
+
+    /// Records a send to `to` this round; panics on the second one.
+    #[inline]
+    fn mark_sent(&mut self, to: NodeId) {
+        let slot = &mut self.seen[to.index()];
+        assert!(
+            *slot != self.stamp,
+            "{} queued two messages to {} in one round",
+            self.node,
+            to
+        );
+        *slot = self.stamp;
     }
 }
 
@@ -214,29 +248,43 @@ impl From<BudgetViolation> for RunError {
 ///
 /// Construct once per run; [`Network::run`] drives a fresh set of protocol
 /// instances to quiescence and leaves cost accounting in
-/// [`Network::metrics`].
+/// [`Network::metrics`] — including after a failed run, where the metrics
+/// cover everything accepted up to the error (the parallel executor
+/// guarantees the identical partial accounting).
 #[derive(Debug)]
 pub struct Network<'g> {
     graph: &'g Graph,
     budget: MessageBudget,
     seed: u64,
     metrics: RunMetrics,
-    /// Sorted neighbor lists (the Ctx hands these out and `send` binary
-    /// searches them).
-    adjacency: Vec<Vec<NodeId>>,
+    /// Sorted flat adjacency (the Ctx hands slices of it out and `send`
+    /// binary searches them).
+    adjacency: CsrAdjacency,
 }
 
 impl<'g> Network<'g> {
     /// A network on `graph` with the given message budget and master seed.
     pub fn new(graph: &'g Graph, budget: MessageBudget, seed: u64) -> Self {
-        let adjacency = graph
-            .nodes()
-            .map(|v| {
-                let mut ns: Vec<NodeId> = graph.neighbor_ids(v).collect();
-                ns.sort_unstable();
-                ns
-            })
-            .collect();
+        Network::with_adjacency(graph, CsrAdjacency::from_graph(graph), budget, seed)
+    }
+
+    /// Like [`Network::new`], reusing an already-built adjacency (e.g. one
+    /// shared with a [`ParallelNetwork`](crate::parallel::ParallelNetwork)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adjacency` was built for a different node count.
+    pub fn with_adjacency(
+        graph: &'g Graph,
+        adjacency: CsrAdjacency,
+        budget: MessageBudget,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            adjacency.node_count(),
+            graph.node_count(),
+            "adjacency built for a different graph"
+        );
         Network {
             graph,
             budget,
@@ -259,6 +307,11 @@ impl<'g> Network<'g> {
     /// Cost accounting of the most recent [`Network::run`].
     pub fn metrics(&self) -> RunMetrics {
         self.metrics
+    }
+
+    /// The shared sorted adjacency.
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adjacency
     }
 
     /// Runs `factory`-created protocols to quiescence, sequentially.
@@ -284,33 +337,47 @@ impl<'g> Network<'g> {
             .map(|v| factory(NodeId(v), &mut rngs[v as usize]))
             .collect();
 
-        // Inboxes for the *next* round.
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        // Double-buffered inbox arenas. Sends are appended to `staging` as
+        // (receiver, sender, msg) in global send order — a purely sequential
+        // write. At each round boundary a counting scatter regroups them by
+        // receiver into `flat`, whose per-receiver slices are handed to the
+        // protocols; the slices come out sorted by sender for free because
+        // senders flush in ascending order and the scatter is stable. All
+        // buffers keep their capacity across rounds, so the steady-state
+        // loop performs no heap allocation.
+        let mut staging: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+        let mut flat: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut offsets: Vec<u32> = vec![0; n + 1];
+        let mut cursor: Vec<u32> = vec![0; n];
         let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
-        let mut in_flight: u64 = 0;
+        let mut seen = vec![0u64; n];
+        let mut stamp = 0u64;
 
         // Init phase (round 0).
         for v in 0..n {
             let node = NodeId(v as u32);
             outbox.clear();
+            stamp += 1;
             {
                 let mut ctx = Ctx {
                     node,
                     n,
                     round: 0,
-                    neighbors: &self.adjacency[v],
+                    neighbors: self.adjacency.neighbors(node),
                     rng: &mut rngs[v],
                     outbox: &mut outbox,
+                    seen: &mut seen,
+                    stamp,
                 };
                 nodes[v].init(&mut ctx);
             }
-            in_flight += self.flush(node, 0, &mut outbox, &mut inboxes)?;
+            self.flush(node, 0, &mut outbox, &mut staging)?;
         }
 
         let mut round: u32 = 0;
         loop {
-            let all_done = in_flight == 0 && nodes.iter().all(Protocol::done);
-            if all_done {
+            // `staging` holds everything sent in the round just executed.
+            if staging.is_empty() && nodes.iter().all(Protocol::done) {
                 break;
             }
             if round >= max_rounds {
@@ -318,43 +385,43 @@ impl<'g> Network<'g> {
             }
             round += 1;
             self.metrics.rounds = round;
-            in_flight = 0;
 
-            // Swap inboxes out so sends this round land in fresh ones.
-            let mut delivering = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+            scatter(&mut staging, &mut flat, &mut offsets, &mut cursor);
+
             for v in 0..n {
                 let node = NodeId(v as u32);
-                let mut inbox = std::mem::take(&mut delivering[v]);
-                inbox.sort_by_key(|&(s, _)| s);
+                let inbox = &flat[offsets[v] as usize..offsets[v + 1] as usize];
+                debug_assert!(inbox.windows(2).all(|w| w[0].0 <= w[1].0));
                 outbox.clear();
+                stamp += 1;
                 {
                     let mut ctx = Ctx {
                         node,
                         n,
                         round,
-                        neighbors: &self.adjacency[v],
+                        neighbors: self.adjacency.neighbors(node),
                         rng: &mut rngs[v],
                         outbox: &mut outbox,
+                        seen: &mut seen,
+                        stamp,
                     };
-                    nodes[v].round(&mut ctx, &inbox);
+                    nodes[v].round(&mut ctx, inbox);
                 }
-                in_flight += self.flush(node, round, &mut outbox, &mut inboxes)?;
+                self.flush(node, round, &mut outbox, &mut staging)?;
             }
         }
 
         Ok(nodes)
     }
 
-    /// Validates and delivers one node's outbox; returns how many messages
-    /// were sent.
+    /// Validates one node's outbox and appends it to the staging buffer.
     fn flush<M: MessageSize>(
         &mut self,
         sender: NodeId,
         round: u32,
         outbox: &mut Vec<(NodeId, M)>,
-        inboxes: &mut [Vec<(NodeId, M)>],
-    ) -> Result<u64, RunError> {
-        let mut sent = 0u64;
+        staging: &mut Vec<(NodeId, NodeId, M)>,
+    ) -> Result<(), RunError> {
         for (to, msg) in outbox.drain(..) {
             let words = msg.words();
             if !self.budget.allows(words) {
@@ -369,10 +436,52 @@ impl<'g> Network<'g> {
             self.metrics.messages += 1;
             self.metrics.words += words as u64;
             self.metrics.max_message_words = self.metrics.max_message_words.max(words);
-            inboxes[to.index()].push((sender, msg));
-            sent += 1;
+            staging.push((to, sender, msg));
         }
-        Ok(sent)
+        Ok(())
+    }
+}
+
+/// Regroups `staging` — (receiver, sender, msg) triples in send order — by
+/// receiver into `flat`, leaving `offsets[v]..offsets[v+1]` as receiver
+/// `v`'s slice. A stable counting scatter: O(messages + n), and each slice
+/// stays in ascending sender order. Drains `staging`; both buffers retain
+/// their capacity for the next round.
+///
+/// Message counts fit `u32`: a round delivers at most one message per
+/// directed edge, and [`CsrAdjacency`] already bounds half-edges to `u32`.
+fn scatter<M>(
+    staging: &mut Vec<(NodeId, NodeId, M)>,
+    flat: &mut Vec<(NodeId, M)>,
+    offsets: &mut [u32],
+    cursor: &mut [u32],
+) {
+    let n = offsets.len() - 1;
+    offsets.fill(0);
+    for &(to, _, _) in staging.iter() {
+        offsets[to.index() + 1] += 1;
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    cursor.copy_from_slice(&offsets[..n]);
+    let total = staging.len();
+    flat.clear();
+    flat.reserve(total);
+    // SAFETY: the counting pass above guarantees every receiver index is in
+    // bounds and that the bucket cursors tile 0..total exactly, so each of
+    // the `total` reserved slots is written exactly once before set_len.
+    // Nothing between the writes can panic (ptr::write and u32 increments
+    // on values the counting pass already produced), so no
+    // partially-initialized buffer is ever observed.
+    unsafe {
+        let base = flat.as_mut_ptr();
+        for (to, sender, msg) in staging.drain(..) {
+            let c = &mut cursor[to.index()];
+            std::ptr::write(base.add(*c as usize), (sender, msg));
+            *c += 1;
+        }
+        flat.set_len(total);
     }
 }
 
@@ -405,7 +514,13 @@ mod tests {
         let g = generators::cycle(10);
         let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
         let states = net
-            .run(|_, _| HelloOnce { heard: 0, expected: 0 }, 10)
+            .run(
+                |_, _| HelloOnce {
+                    heard: 0,
+                    expected: 0,
+                },
+                10,
+            )
             .unwrap();
         assert!(states.iter().all(|s| s.heard == s.expected));
         let m = net.metrics();
@@ -553,6 +668,57 @@ mod tests {
         let _ = net.run(|_, _| DoubleSender, 5);
     }
 
+    struct SendThenBroadcast;
+
+    impl Protocol for SendThenBroadcast {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if ctx.me() == NodeId(0) {
+                let first = ctx.neighbors()[0];
+                ctx.send(first, 1);
+                ctx.broadcast(2); // would double-send to `first`
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, u64>, _: &[(NodeId, u64)]) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "two messages")]
+    fn broadcast_after_send_panics() {
+        let g = generators::star(4);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let _ = net.run(|_, _| SendThenBroadcast, 5);
+    }
+
+    /// A node may send to the same neighbor again in a *later* round; the
+    /// stamp-based duplicate check must not leak across rounds.
+    struct RepeatSender {
+        received: u32,
+    }
+
+    impl Protocol for RepeatSender {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if ctx.me() == NodeId(0) {
+                ctx.send(NodeId(1), 0);
+            }
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+            if ctx.me() == NodeId(0) && ctx.round() <= 3 {
+                ctx.send(NodeId(1), ctx.round() as u64);
+            }
+            self.received += inbox.len() as u32;
+        }
+    }
+
+    #[test]
+    fn resend_in_later_round_is_allowed() {
+        let g = generators::path(2);
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
+        let states = net.run(|_, _| RepeatSender { received: 0 }, 10).unwrap();
+        assert_eq!(states[1].received, 4); // rounds 1..=4 deliver
+    }
+
     #[test]
     fn inbox_sorted_by_sender() {
         struct Check {
@@ -574,7 +740,13 @@ mod tests {
         let g = generators::star(8);
         let mut net = Network::new(&g, MessageBudget::CONGEST, 1);
         let states = net
-            .run(|_, _| Check { ok: true, fired: false }, 5)
+            .run(
+                |_, _| Check {
+                    ok: true,
+                    fired: false,
+                },
+                5,
+            )
             .unwrap();
         assert!(states[0].fired);
         assert!(states.iter().all(|s| s.ok));
@@ -609,5 +781,23 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn shared_adjacency_constructor() {
+        let g = generators::cycle(6);
+        let csr = CsrAdjacency::from_graph(&g);
+        let mut net = Network::with_adjacency(&g, csr.clone(), MessageBudget::CONGEST, 1);
+        let states = net
+            .run(
+                |_, _| HelloOnce {
+                    heard: 0,
+                    expected: 0,
+                },
+                10,
+            )
+            .unwrap();
+        assert!(states.iter().all(|s| s.heard == s.expected));
+        assert_eq!(net.adjacency(), &csr);
     }
 }

@@ -1,0 +1,183 @@
+//! Cross-executor parity: the sequential and parallel executors must be
+//! observationally identical — same final states, same RNG streams, same
+//! [`RunMetrics`] — on every graph, seed, and thread count, including the
+//! partial metrics left behind by failed runs.
+
+use proptest::prelude::*;
+
+use rand::Rng;
+use spanner_graph::{generators, Graph, NodeId};
+use spanner_netsim::patterns::MinIdBroadcast;
+use spanner_netsim::{Ctx, MessageBudget, Network, ParallelNetwork, Protocol, RunError};
+
+/// A protocol exercising every determinism-relevant feature at once: each
+/// round a node flips its private coin, gossips the value to all neighbors,
+/// and folds everything it hears into a running hash. Any divergence in RNG
+/// streams, inbox order, or delivery timing changes the digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GossipHash {
+    digest: u64,
+    ttl: u32,
+}
+
+impl GossipHash {
+    fn new(ttl: u32) -> Self {
+        GossipHash { digest: 0, ttl }
+    }
+
+    fn mix(&mut self, sender: NodeId, word: u64) {
+        let mut z = self
+            .digest
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(((sender.0 as u64) << 32) ^ word);
+        z ^= z >> 29;
+        self.digest = z;
+    }
+}
+
+impl Protocol for GossipHash {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        let word = ctx.rng().gen::<u64>();
+        self.mix(ctx.me(), word);
+        ctx.broadcast(word & 0xFFFF);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+        for &(s, w) in inbox {
+            self.mix(s, w);
+        }
+        if ctx.round() < self.ttl && !inbox.is_empty() {
+            let word = ctx.rng().gen::<u64>();
+            self.mix(ctx.me(), word);
+            ctx.broadcast(word & 0xFFFF);
+        }
+    }
+}
+
+fn assert_parity(g: &Graph, seed: u64, ttl: u32) {
+    let mut seq = Network::new(g, MessageBudget::CONGEST, seed);
+    let seq_states = seq.run(|_, _| GossipHash::new(ttl), 4 * ttl + 16).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let mut par = ParallelNetwork::new(g, MessageBudget::CONGEST, seed, threads);
+        let par_states = par.run(|_, _| GossipHash::new(ttl), 4 * ttl + 16).unwrap();
+        assert_eq!(seq_states, par_states, "states, {threads} threads");
+        assert_eq!(seq.metrics(), par.metrics(), "metrics, {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn executors_agree_on_random_graphs(
+        n in 2usize..=120,
+        density in 1.0f64..3.5,
+        seed in any::<u64>(),
+        ttl in 1u32..6,
+    ) {
+        let m = ((n as f64) * density) as usize;
+        let g = generators::erdos_renyi_gnm(n, m, seed ^ 0x5EED);
+        assert_parity(&g, seed, ttl);
+    }
+
+    #[test]
+    fn executors_agree_on_stars(
+        leaves in 2usize..=400,
+        seed in any::<u64>(),
+    ) {
+        // High-degree hub: the shape that punished the old O(outbox)
+        // duplicate scan and exercises cross-chunk routing the hardest.
+        let g = generators::star(leaves + 1);
+        assert_parity(&g, seed, 3);
+    }
+}
+
+#[test]
+fn executors_agree_on_min_id_broadcast() {
+    let g = generators::erdos_renyi_gnm(90, 270, 31);
+    let sources = |v: NodeId| v.0.is_multiple_of(11);
+    let mut seq = Network::new(&g, MessageBudget::Words(2), 12);
+    let seq_states = seq
+        .run(|v, _| MinIdBroadcast::new(sources(v), 50), 256)
+        .unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let par = spanner_netsim::parallel::run_parallel(
+            &g,
+            MessageBudget::Words(2),
+            12,
+            |v, _| MinIdBroadcast::new(sources(v), 50),
+            256,
+            threads,
+        )
+        .unwrap();
+        for v in g.nodes() {
+            assert_eq!(
+                seq_states[v.index()].nearest(),
+                par.states[v.index()].nearest(),
+                "node {v}, {threads} threads"
+            );
+        }
+        assert_eq!(seq.metrics(), par.metrics, "{threads} threads");
+    }
+}
+
+/// Error paths must account identically too: a round-limited run leaves the
+/// same metrics in both executors.
+#[test]
+fn round_limit_metrics_agree() {
+    #[derive(Debug)]
+    struct Chatter;
+    impl Protocol for Chatter {
+        type Msg = u64;
+        fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.broadcast(1);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, u64>, _: &[(NodeId, u64)]) {
+            ctx.broadcast(1);
+        }
+    }
+    let g = generators::erdos_renyi_gnm(40, 120, 2);
+    let mut seq = Network::new(&g, MessageBudget::CONGEST, 7);
+    let seq_err = seq.run(|_, _| Chatter, 6).unwrap_err();
+    assert_eq!(seq_err, RunError::RoundLimit { max_rounds: 6 });
+    for threads in [1usize, 3, 8] {
+        let mut par = ParallelNetwork::new(&g, MessageBudget::CONGEST, 7, threads);
+        let par_err = par.run(|_, _| Chatter, 6).unwrap_err();
+        assert_eq!(seq_err, par_err);
+        assert_eq!(seq.metrics(), par.metrics(), "{threads} threads");
+    }
+}
+
+/// Budget-violation runs leave identical partial metrics (the seed executor
+/// lost the parallel metrics entirely on this path).
+#[test]
+fn budget_violation_metrics_agree() {
+    #[derive(Debug)]
+    struct LateFat;
+    impl Protocol for LateFat {
+        type Msg = Vec<u64>;
+        fn init(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+            ctx.broadcast(vec![1]);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, Vec<u64>>, _: &[(NodeId, Vec<u64>)]) {
+            if ctx.round() == 2 && ctx.me().0 >= 20 {
+                ctx.broadcast(vec![0; 7]);
+            } else if ctx.round() < 2 {
+                ctx.broadcast(vec![ctx.round() as u64]);
+            }
+        }
+    }
+    let g = generators::erdos_renyi_gnm(40, 100, 5);
+    let mut seq = Network::new(&g, MessageBudget::Words(4), 9);
+    let seq_err = seq.run(|_, _| LateFat, 32).unwrap_err();
+    assert!(matches!(seq_err, RunError::Budget(_)));
+    assert!(seq.metrics().messages > 0, "partial accounting expected");
+    for threads in [1usize, 2, 4, 8] {
+        let mut par = ParallelNetwork::new(&g, MessageBudget::Words(4), 9, threads);
+        let par_err = par.run(|_, _| LateFat, 32).unwrap_err();
+        assert_eq!(seq_err, par_err, "{threads} threads");
+        assert_eq!(seq.metrics(), par.metrics(), "{threads} threads");
+    }
+}

@@ -83,8 +83,7 @@ impl DistanceOracle {
             witness.push(
                 g.nodes()
                     .map(|v| {
-                        bfs.dist[v.index()]
-                            .map(|d| (d, bfs.source[v.index()].expect("attributed")))
+                        bfs.dist[v.index()].map(|d| (d, bfs.source[v.index()].expect("attributed")))
                     })
                     .collect(),
             );
@@ -144,18 +143,17 @@ impl DistanceOracle {
         }
         // Witness paths: each v keeps an edge toward each p_i(v) tree
         // (needed so queries are realizable inside the spanner).
-        for i in 0..k as usize {
+        for wit in witness.iter().take(k as usize) {
             for v in g.nodes() {
-                let Some((d, src)) = witness[i][v.index()] else { continue };
+                let Some((d, src)) = wit[v.index()] else {
+                    continue;
+                };
                 if d == 0 {
                     continue;
                 }
                 let parent = g
                     .neighbor_ids(v)
-                    .filter(|u| {
-                        witness[i][u.index()]
-                            .is_some_and(|(du, su)| du + 1 == d && su == src)
-                    })
+                    .filter(|u| wit[u.index()].is_some_and(|(du, su)| du + 1 == d && su == src))
                     .min()
                     .expect("witness parent exists");
                 spanner_edges.insert(g.find_edge(v, parent).expect("edge"));
@@ -341,6 +339,9 @@ mod tests {
         let a = DistanceOracle::build(&g, 2, 9);
         let b = DistanceOracle::build(&g, 2, 9);
         assert_eq!(a.size(), b.size());
-        assert_eq!(a.query(NodeId(0), NodeId(50)), b.query(NodeId(0), NodeId(50)));
+        assert_eq!(
+            a.query(NodeId(0), NodeId(50)),
+            b.query(NodeId(0), NodeId(50))
+        );
     }
 }

@@ -191,10 +191,7 @@ impl RoutingScheme {
     /// Total routing-table entries across all vertices (the scheme's
     /// space, excluding addresses).
     pub fn table_entries(&self) -> usize {
-        self.toward_landmark
-            .iter()
-            .map(HashMap::len)
-            .sum::<usize>()
+        self.toward_landmark.iter().map(HashMap::len).sum::<usize>()
             + self.cluster_hop.iter().map(HashMap::len).sum::<usize>()
     }
 
@@ -251,7 +248,9 @@ mod tests {
         let nearest = {
             let landmarks: Vec<NodeId> = g
                 .nodes()
-                .filter(|v| scheme.address(*v).down_path.is_empty() && scheme.address(*v).landmark == *v)
+                .filter(|v| {
+                    scheme.address(*v).down_path.is_empty() && scheme.address(*v).landmark == *v
+                })
                 .collect();
             multi_source_bfs(g, &landmarks)
         };

@@ -18,7 +18,10 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(3_000);
     let g = generators::connected_gnm(n, 10 * n, 1);
-    println!("input: connected G(n, m) with n = {n}, m = {}\n", g.edge_count());
+    println!(
+        "input: connected G(n, m) with n = {n}, m = {}\n",
+        g.edge_count()
+    );
     println!(
         "{:<28} {:>8} {:>8} {:>12} {:>12}",
         "algorithm", "|S|", "|S|/n", "max stretch", "mean stretch"
@@ -50,7 +53,13 @@ fn main() {
     }
     show("additive-2 (ACIM)", &additive2::build(&g, 5));
     let sk = SkeletonParams::default();
-    show("skeleton (this paper)", &skeleton::build_sequential(&g, &sk, 5));
+    show(
+        "skeleton (this paper)",
+        &skeleton::build_sequential(&g, &sk, 5),
+    );
     let fp = FibonacciParams::new(n, 2, 0.5, 0).unwrap();
-    show("Fibonacci o=2 (this paper)", &fibonacci::build_sequential(&g, &fp, 5));
+    show(
+        "Fibonacci o=2 (this paper)",
+        &fibonacci::build_sequential(&g, &fp, 5),
+    );
 }

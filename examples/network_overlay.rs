@@ -40,8 +40,7 @@ fn main() {
         if !(b.dist == 1 || b.dist % 8 == 0) {
             continue;
         }
-        let guarantee =
-            analysis::multiplicative_stretch(params.order, params.ell, b.dist as u64);
+        let guarantee = analysis::multiplicative_stretch(params.order, params.ell, b.dist as u64);
         assert!(b.max_stretch <= guarantee + 1e-9, "guarantee violated");
         println!(
             "{:>12} | {:>6} | {:>13.3} | {:>12.3} | {:>9.3}",

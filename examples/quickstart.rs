@@ -20,10 +20,12 @@ fn main() {
     // Build the paper's linear-size skeleton, distributedly: every node is
     // a processor exchanging O(log^eps n)-word messages.
     let params = SkeletonParams::new(4.0, 0.5).expect("valid parameters");
-    let spanner =
-        skeleton::distributed::build_distributed(&g, &params, 42).expect("protocol run");
+    let spanner = skeleton::distributed::build_distributed(&g, &params, 42).expect("protocol run");
 
-    assert!(spanner.is_spanning(&g), "a skeleton must preserve connectivity");
+    assert!(
+        spanner.is_spanning(&g),
+        "a skeleton must preserve connectivity"
+    );
     let metrics = spanner.metrics.expect("distributed construction");
     println!(
         "skeleton: {} edges ({:.2} per node) built in {} rounds, max message {} words",
@@ -39,7 +41,9 @@ fn main() {
     let certified = params.schedule(g.node_count()).distortion_bound;
     println!("certified worst-case stretch (Theorem 2 schedule): {certified}");
     assert!(report.max_multiplicative <= certified as f64);
-    println!("=> kept {:.1}% of edges, stretched sampled pairs by at most {:.1}x",
+    println!(
+        "=> kept {:.1}% of edges, stretched sampled pairs by at most {:.1}x",
         100.0 * spanner.len() as f64 / g.edge_count() as f64,
-        report.max_multiplicative);
+        report.max_multiplicative
+    );
 }

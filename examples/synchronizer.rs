@@ -39,20 +39,32 @@ fn main() {
     let radius = g.node_count() as u32;
     let mut full_net = Network::new(&g, MessageBudget::CONGEST, 1);
     let full = full_net
-        .run(|v, _| FloodProtocol::new(v == NodeId(0), radius), 4 * radius)
+        .run(
+            |v, _| FloodProtocol::new(v == NodeId(0), radius),
+            4 * radius,
+        )
         .expect("flood");
     assert!(full.iter().all(FloodProtocol::reached));
 
     // ... and over the skeleton.
     let mut skel_net = Network::new(&sub, MessageBudget::CONGEST, 1);
     let skel = skel_net
-        .run(|v, _| FloodProtocol::new(v == NodeId(0), radius), 4 * radius)
+        .run(
+            |v, _| FloodProtocol::new(v == NodeId(0), radius),
+            4 * radius,
+        )
         .expect("flood");
     assert!(skel.iter().all(FloodProtocol::reached));
 
     let (fm, sm) = (full_net.metrics(), skel_net.metrics());
-    println!("broadcast over the raw network: {} messages, {} rounds", fm.messages, fm.rounds);
-    println!("broadcast over the skeleton:    {} messages, {} rounds", sm.messages, sm.rounds);
+    println!(
+        "broadcast over the raw network: {} messages, {} rounds",
+        fm.messages, fm.rounds
+    );
+    println!(
+        "broadcast over the skeleton:    {} messages, {} rounds",
+        sm.messages, sm.rounds
+    );
     println!(
         "=> {:.1}x fewer messages for {:.2}x the latency",
         fm.messages as f64 / sm.messages as f64,

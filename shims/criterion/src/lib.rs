@@ -1,0 +1,226 @@
+//! Offline drop-in replacement for the subset of `criterion` this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This shim keeps the bench files compiling and
+//! produces honest wall-clock measurements: each benchmark is warmed up,
+//! calibrated to the group's measurement time, run, and reported as
+//! `ns/iter` (median over samples) on stdout. No statistical analysis, HTML
+//! reports, or baseline comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            id,
+            self.default_sample_size,
+            self.default_measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks with shared settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and time settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs a benchmark parametrized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parametrized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Hands the measured routine to the harness.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough iterations to fill the sample budget.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warmup & calibration: one iteration tells us how many fit per sample.
+    let mut warm = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    f(&mut warm);
+    let once = warm
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+    let per_sample = measurement_time.as_secs_f64() / sample_size as f64;
+    let iters = (per_sample / once.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+    let mut bench = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        f(&mut bench);
+    }
+    let mut per_iter: Vec<f64> = bench
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() * 1e9 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter.first().copied().unwrap_or(median);
+    let hi = per_iter.last().copied().unwrap_or(median);
+    println!("bench: {id:<48} {median:>14.1} ns/iter  (min {lo:.1}, max {hi:.1}, {iters} it/sample, {sample_size} samples)");
+}
+
+/// Declares a group of benchmark functions runnable as one unit.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).0, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline drop-in replacement for the subset of `proptest` this workspace
+//! uses.
+//!
+//! The build environment has no network access, so the real `proptest` crate
+//! cannot be fetched. This shim provides API-compatible randomized property
+//! testing without shrinking:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric ranges
+//!   and tuples,
+//! * [`arbitrary::any`] for the primitive types,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Each test case draws its inputs from a deterministic RNG derived from the
+//! test name and case index, so failures are reproducible run-to-run. On
+//! failure the panic message includes the case index; there is no shrinking —
+//! minimal counterexamples are traded for zero dependencies.
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a property holds; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)` runs
+/// `config.cases` times with inputs drawn from the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        #[test]
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut runner_rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $( let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut runner_rng); )+
+                let run = || $body;
+                run();
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 0u32..10, b in 5usize..=9, x in 0.5f64..2.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((0.5..2.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (1u32..5, 10u64..=20).prop_map(|(a, b)| (a as u64) + b) ) {
+            prop_assert!((11..=24).contains(&pair));
+        }
+
+        #[test]
+        fn any_u64_varies(x in any::<u64>(), y in any::<u64>()) {
+            // Astronomically unlikely to collide; mostly checks plumbing.
+            prop_assert_ne!(x, y);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let s = 0u64..=u64::MAX;
+        assert_eq!(
+            Strategy::new_value(&s, &mut a),
+            Strategy::new_value(&s, &mut b)
+        );
+    }
+}

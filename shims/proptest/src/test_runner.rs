@@ -1,0 +1,52 @@
+//! Test configuration and the deterministic per-case RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// The RNG driving input generation, derived from (test name, case index) so
+/// every run of the suite replays the identical cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// The RNG for case number `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 1 | 1)))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Access to the underlying RNG.
+    pub fn inner(&mut self) -> &mut SmallRng {
+        &mut self.0
+    }
+}

@@ -25,6 +25,6 @@
 pub use spanner_baselines as baselines;
 pub use spanner_graph as graph;
 pub use spanner_lowerbound as lowerbound;
-pub use spanner_oracle as oracle;
 pub use spanner_netsim as netsim;
+pub use spanner_oracle as oracle;
 pub use ultrasparse as core;

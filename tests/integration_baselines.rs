@@ -29,7 +29,10 @@ fn all_baselines_guarantee_matrix() {
         let s = greedy::build(&g, k);
         assert!(s.is_spanning(&g));
         let r = s.stretch_exact(&g);
-        assert!(r.satisfies_multiplicative((2 * k - 1) as f64), "greedy k={k}");
+        assert!(
+            r.satisfies_multiplicative((2 * k - 1) as f64),
+            "greedy k={k}"
+        );
         assert!(greedy::has_greedy_girth(&g, &s, k));
     }
 
@@ -45,11 +48,7 @@ fn fig1_ordering_relations() {
 
     let forest = bfs_skeleton::build(&g);
     let greedy_log = greedy::linear_size_skeleton(&g);
-    let bs2 = baswana_sen::build_sequential(
-        &g,
-        &baswana_sen::BaswanaSenParams::new(2).unwrap(),
-        5,
-    );
+    let bs2 = baswana_sen::build_sequential(&g, &baswana_sen::BaswanaSenParams::new(2).unwrap(), 5);
     let skel = ultrasparse_spanners::core::skeleton::build_sequential(
         &g,
         &ultrasparse_spanners::core::skeleton::SkeletonParams::default(),

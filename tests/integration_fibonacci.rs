@@ -2,9 +2,7 @@
 //! analytical envelope (Theorem 7) and the sequential ≡ distributed
 //! equivalence under unbounded messages.
 
-use ultrasparse_spanners::core::fibonacci::{
-    self, analysis::distortion_envelope, FibonacciParams,
-};
+use ultrasparse_spanners::core::fibonacci::{self, analysis::distortion_envelope, FibonacciParams};
 use ultrasparse_spanners::graph::{generators, Graph};
 
 fn envelope_ok(g: &Graph, p: &FibonacciParams, s: &ultrasparse_spanners::core::Spanner) {
@@ -20,7 +18,10 @@ fn fibonacci_across_graph_families() {
         ("gnm", generators::connected_gnm(700, 4_000, 1)),
         ("grid", generators::grid(22, 25)),
         ("caveman", generators::caveman(40, 12, 15, 3)),
-        ("preferential", generators::preferential_attachment(600, 5, 4)),
+        (
+            "preferential",
+            generators::preferential_attachment(600, 5, 4),
+        ),
     ];
     for (label, g) in &graphs {
         for order in 1..=2u32 {

@@ -16,7 +16,13 @@ fn gadget_spine_cost_is_two_per_drop() {
         let trials = 6;
         let mut total = 0.0;
         for seed in 0..trials {
-            let sel = select(&g, Strategy::GenerousCritical { keep_fraction: keep }, seed);
+            let sel = select(
+                &g,
+                Strategy::GenerousCritical {
+                    keep_fraction: keep,
+                },
+                seed,
+            );
             let m = measure_spine_distortion(&g, &sel);
             assert!(sel.spanner.is_spanning(&g.graph));
             total += m.additive as f64;

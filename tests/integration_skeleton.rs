@@ -26,7 +26,10 @@ fn skeleton_across_graph_families() {
         ("grid", generators::grid(25, 30)),
         ("torus", generators::torus(20, 25)),
         ("hypercube", generators::hypercube(9)),
-        ("preferential", generators::preferential_attachment(700, 4, 2)),
+        (
+            "preferential",
+            generators::preferential_attachment(700, 4, 2),
+        ),
         ("caveman", generators::caveman(30, 15, 20, 3)),
         ("cycle", generators::cycle(500)),
     ];

@@ -84,9 +84,9 @@ proptest! {
         prop_assert!((s[2] - (d as f64).powi(d as i32)).abs() < 1e-6 * s[2]);
         // Lemma 1(3): s_i >= 2^{i+1} s_1...s_{i-1}.
         let mut prod = 1.0f64;
-        for i in 1..4usize {
-            prop_assert!(s[i] >= 2f64.powi(i as i32 + 1) * prod * 0.999);
-            prod *= s[i];
+        for (i, &si) in s.iter().enumerate().take(4).skip(1) {
+            prop_assert!(si >= 2f64.powi(i as i32 + 1) * prod * 0.999);
+            prod *= si;
         }
     }
 

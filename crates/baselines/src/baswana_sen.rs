@@ -18,7 +18,7 @@
 //! version run in O(k) rounds with 2-word messages.
 
 use spanner_graph::{EdgeId, EdgeSet, Graph, NodeId};
-use spanner_netsim::{Ctx, MessageBudget, Network, Protocol, RunError};
+use spanner_netsim::{Ctx, MessageBudget, Network, NullSink, Protocol, RunError, TraceSink};
 use ultrasparse::expand::ClusterSampler;
 use ultrasparse::Spanner;
 
@@ -228,6 +228,16 @@ impl Protocol for BsNode {
         if self.finished {
             return;
         }
+        // Every node progresses through iterations in lockstep, so each one
+        // declares the current span; the executor collapses the n identical
+        // declarations into a single trace event.
+        if ctx.tracing() {
+            if self.iter < self.params.k - 1 {
+                ctx.enter_phase(format!("cluster[{:02}]", self.iter));
+            } else {
+                ctx.enter_phase("connect");
+            }
+        }
         if self.iter < self.params.k - 1 {
             self.decide(ctx.me(), inbox);
             self.iter += 1;
@@ -237,6 +247,10 @@ impl Protocol for BsNode {
                 });
             }
         } else {
+            // No exit_phase here: an Enter/Exit pair per node in the same
+            // round would defeat the executor's consecutive-event dedup.
+            // The run ends with this round and the tracer closes the open
+            // `connect` span at run end.
             self.phase2(inbox);
         }
     }
@@ -259,10 +273,26 @@ pub fn build_distributed(
     params: &BaswanaSenParams,
     seed: u64,
 ) -> Result<Spanner, RunError> {
+    build_distributed_traced(g, params, seed, &mut NullSink)
+}
+
+/// Like [`build_distributed`], streaming round-level trace events into
+/// `sink`: one `cluster[i]` span per phase-1 iteration and a final
+/// `connect` span for phase 2.
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`build_distributed`] does.
+pub fn build_distributed_traced(
+    g: &Graph,
+    params: &BaswanaSenParams,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<Spanner, RunError> {
     let mut net = Network::new(g, MessageBudget::Words(2), seed);
     let n = g.node_count();
     let p = params.probability(n);
-    let states = net.run(
+    let states = net.run_traced(
         |v, _| BsNode {
             params: *params,
             sampler: ClusterSampler::new(seed),
@@ -273,6 +303,7 @@ pub fn build_distributed(
             finished: false,
         },
         params.k + 4,
+        sink,
     )?;
     let mut edges = EdgeSet::new(g);
     for (v, st) in states.iter().enumerate() {

@@ -13,7 +13,7 @@ use spanner_graph::components::connected_components;
 use spanner_graph::traversal::bfs_tree;
 use spanner_graph::{EdgeSet, Graph, NodeId};
 use spanner_netsim::patterns::SourceInfo;
-use spanner_netsim::{Ctx, MessageBudget, Network, Protocol, RunError};
+use spanner_netsim::{Ctx, MessageBudget, Network, NullSink, Protocol, RunError, TraceSink};
 use ultrasparse::Spanner;
 
 /// BFS spanning forest rooted at the minimum-id vertex of each component.
@@ -54,6 +54,7 @@ impl Protocol for MinRootBfs {
     type Msg = SourceInfo;
 
     fn init(&mut self, ctx: &mut Ctx<'_, SourceInfo>) {
+        ctx.enter_phase("elect");
         self.best = SourceInfo {
             dist: 0,
             source: ctx.me(),
@@ -91,13 +92,29 @@ impl Protocol for MinRootBfs {
 /// Propagates simulator errors; with `max_rounds ≥ O(diameter)` none
 /// occur.
 pub fn build_distributed(g: &Graph, seed: u64, max_rounds: u32) -> Result<Spanner, RunError> {
+    build_distributed_traced(g, seed, max_rounds, &mut NullSink)
+}
+
+/// Like [`build_distributed`], streaming round-level trace events into
+/// `sink`; the whole flood is one `elect` phase span.
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`build_distributed`] does.
+pub fn build_distributed_traced(
+    g: &Graph,
+    seed: u64,
+    max_rounds: u32,
+    sink: &mut dyn TraceSink,
+) -> Result<Spanner, RunError> {
     let mut net = Network::new(g, MessageBudget::Words(2), seed);
-    let states = net.run(
+    let states = net.run_traced(
         |v, _| MinRootBfs {
             best: SourceInfo { dist: 0, source: v },
             sent: None,
         },
         max_rounds,
+        sink,
     )?;
     let mut edges = EdgeSet::new(g);
     for v in g.nodes() {

@@ -6,11 +6,12 @@
 //! experiment sweeps t and prints the realized order, ℓ, rounds, maximum
 //! message words, and spanner size.
 
-use spanner_bench::{f2, scaled, timed, workload, Table};
-use ultrasparse::fibonacci::distributed::{build_distributed, theorem8_budget};
+use spanner_bench::{f2, scaled, timed, workload, Table, TraceOutput};
+use ultrasparse::fibonacci::distributed::{build_distributed_traced, theorem8_budget};
 use ultrasparse::fibonacci::FibonacciParams;
 
 fn main() {
+    let traces = TraceOutput::from_args();
     let n = scaled(6_000, 1_500);
     let g = workload(n, 10.0, 23);
     let base_order = 2;
@@ -33,11 +34,13 @@ fn main() {
     for t in [0u32, 2, 3, 4, 6] {
         let params = FibonacciParams::new(n, base_order, 0.5, t).expect("valid");
         let budget = theorem8_budget(n, t);
+        let mut tr = traces.open(&format!("t{t}"));
         let ((s, rounds, words), secs) = timed(|| {
-            let s = build_distributed(&g, &params, 9).expect("run");
+            let s = build_distributed_traced(&g, &params, 9, tr.sink()).expect("run");
             let m = s.metrics.expect("metrics");
             (s, m.rounds, m.max_message_words)
         });
+        tr.finish();
         assert!(s.is_spanning(&g), "t={t}");
         table.row([
             t.to_string(),

@@ -7,11 +7,12 @@
 //! simulator round count, the planned timetable, and the max message
 //! length.
 
-use spanner_bench::{f2, scaled, timed, workload, Table};
+use spanner_bench::{f2, scaled, timed, workload, Table, TraceOutput};
 use ultrasparse::seq::log_star;
 use ultrasparse::skeleton::{distributed, SkeletonParams};
 
 fn main() {
+    let traces = TraceOutput::from_args();
     let sizes: &[usize] = if spanner_bench::quick_mode() {
         &[500, 1_000, 2_000]
     } else {
@@ -35,11 +36,13 @@ fn main() {
     ]);
     for &n in sizes {
         let g = workload(n, 6.0, 3);
+        let mut tr = traces.open(&format!("n{n}"));
         let ((spanner, rounds, words), secs) = timed(|| {
-            let s = distributed::build_distributed(&g, &params, 9).expect("run");
+            let s = distributed::build_distributed_traced(&g, &params, 9, tr.sink()).expect("run");
             let m = s.metrics.expect("distributed metrics");
             (s, m.rounds, m.max_message_words)
         });
+        tr.finish();
         assert!(spanner.is_spanning(&g));
         let r = spanner.stretch_sampled(&g, pairs, 5);
         let sched = params.schedule(n);

@@ -5,10 +5,11 @@
 //! and prints measured |S|/n next to the analytic prediction, for both the
 //! sequential reference and the distributed protocol.
 
-use spanner_bench::{f2, scaled, timed, workload, Table};
+use spanner_bench::{f2, scaled, timed, workload, Table, TraceOutput};
 use ultrasparse::skeleton::{build_sequential, distributed, SkeletonParams};
 
 fn main() {
+    let traces = TraceOutput::from_args();
     let n = scaled(30_000, 3_000);
     println!("E2 (Lemma 6): skeleton size vs D, n = {n}.\n");
     println!(
@@ -34,7 +35,10 @@ fn main() {
         let params = SkeletonParams::new(d, 1.0).expect("valid params");
         let predicted = params.expected_size(g.node_count()) / g.node_count() as f64;
         let (seq, secs) = timed(|| build_sequential(&g, &params, 11));
-        let dist = distributed::build_distributed(&g, &params, 11).expect("distributed run");
+        let mut tr = traces.open(&format!("d{:02}", d as u32));
+        let dist = distributed::build_distributed_traced(&g, &params, 11, tr.sink())
+            .expect("distributed run");
+        tr.finish();
         assert!(seq.is_spanning(&g) && dist.is_spanning(&g));
         table.row([
             f2(d),

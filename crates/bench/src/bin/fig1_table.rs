@@ -14,7 +14,7 @@
 //!   Fibonacci spanner (Theorem 8), both distributed.
 
 use spanner_baselines::{additive2, baswana_sen, bfs_skeleton, greedy};
-use spanner_bench::{f2, scaled, timed, workload, Table};
+use spanner_bench::{f2, scaled, timed, workload, Table, TraceOutput};
 use ultrasparse::fibonacci::{self, FibonacciParams};
 use ultrasparse::skeleton::{self, SkeletonParams};
 
@@ -24,6 +24,7 @@ fn main() {
     let seed = 42;
     let g = workload(n, density, seed);
     let pairs = scaled(4_000, 500);
+    let traces = TraceOutput::from_args();
     println!(
         "Fig. 1 reproduction: workload connected G(n, m), n = {}, m = {}\n",
         g.node_count(),
@@ -71,7 +72,11 @@ fn main() {
 
     let klog = (n as f64).log2().ceil() as u32;
 
-    let (s, secs) = timed(|| bfs_skeleton::build_distributed(&g, seed, 10 * n as u32).unwrap());
+    let mut tr = traces.open("bfs");
+    let (s, secs) = timed(|| {
+        bfs_skeleton::build_distributed_traced(&g, seed, 10 * n as u32, tr.sink()).unwrap()
+    });
+    tr.finish();
     add_row(
         "BFS forest",
         "connectivity only",
@@ -82,7 +87,10 @@ fn main() {
     );
 
     let bs2 = baswana_sen::BaswanaSenParams::new(2).unwrap();
-    let (s, secs) = timed(|| baswana_sen::build_distributed(&g, &bs2, seed).unwrap());
+    let mut tr = traces.open("bs-k2");
+    let (s, secs) =
+        timed(|| baswana_sen::build_distributed_traced(&g, &bs2, seed, tr.sink()).unwrap());
+    tr.finish();
     add_row(
         "Baswana-Sen k=2 [10]",
         "3-spanner, O(n^1.5)",
@@ -93,7 +101,10 @@ fn main() {
     );
 
     let bsl = baswana_sen::BaswanaSenParams::new(klog).unwrap();
-    let (s, secs) = timed(|| baswana_sen::build_distributed(&g, &bsl, seed).unwrap());
+    let mut tr = traces.open("bs-klog");
+    let (s, secs) =
+        timed(|| baswana_sen::build_distributed_traced(&g, &bsl, seed, tr.sink()).unwrap());
+    tr.finish();
     add_row(
         "Baswana-Sen k=log n [10]",
         "O(log n)-spanner, O(n log n)",
@@ -124,7 +135,11 @@ fn main() {
     );
 
     let sk = SkeletonParams::default();
-    let (s, secs) = timed(|| skeleton::distributed::build_distributed(&g, &sk, seed).unwrap());
+    let mut tr = traces.open("skeleton");
+    let (s, secs) = timed(|| {
+        skeleton::distributed::build_distributed_traced(&g, &sk, seed, tr.sink()).unwrap()
+    });
+    tr.finish();
     add_row(
         "THIS PAPER: skeleton (Thm 2)",
         "O(2^log* n log n)-spanner, Dn/e+O(n log D)",
@@ -136,7 +151,11 @@ fn main() {
 
     let order = FibonacciParams::max_order(n).min(3);
     let fp = FibonacciParams::new(n, order, 0.5, 4).unwrap();
-    let (s, secs) = timed(|| fibonacci::distributed::build_distributed(&g, &fp, seed).unwrap());
+    let mut tr = traces.open("fibonacci");
+    let (s, secs) = timed(|| {
+        fibonacci::distributed::build_distributed_traced(&g, &fp, seed, tr.sink()).unwrap()
+    });
+    tr.finish();
     add_row(
         "THIS PAPER: Fibonacci (Thm 8)",
         "staged (alpha,beta), ~n(eps^-1 loglog n)^phi",

@@ -12,13 +12,127 @@
 //! cargo run --release -p spanner-bench --bin exp_skeleton_size -- --quick
 //! ```
 
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use spanner_graph::Graph;
+use spanner_netsim::{JsonLinesSink, NullSink, TraceSink};
 
 /// Whether the process was invoked with `--quick` (smaller instances).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// The `--trace-out <path>` argument, if present. Accepts both
+/// `--trace-out runs.jsonl` and `--trace-out=runs.jsonl`.
+pub fn trace_out_arg() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(path) = a.strip_prefix("--trace-out=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Round-level trace output for an experiment binary, driven by the
+/// `--trace-out <path>.jsonl` flag.
+///
+/// Experiments run many simulated protocols; each traced run gets its own
+/// JSON-lines file so every file holds exactly one event stream ending in a
+/// single `run_end` record (the format `trace_summary` consumes). The file
+/// for the run labeled `L` is `<stem>.<L>.jsonl` next to the requested
+/// path. Without the flag every sink is a no-op [`NullSink`] and tracing
+/// cost is zero.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOutput {
+    base: Option<PathBuf>,
+}
+
+impl TraceOutput {
+    /// Reads `--trace-out` from the process arguments.
+    pub fn from_args() -> Self {
+        TraceOutput {
+            base: trace_out_arg(),
+        }
+    }
+
+    /// Whether `--trace-out` was passed.
+    pub fn enabled(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Opens the trace destination for the run labeled `label`
+    /// (disabled when `--trace-out` is absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace file cannot be created — experiments should
+    /// fail loudly rather than silently drop requested output.
+    pub fn open(&self, label: &str) -> RunTrace {
+        let Some(base) = &self.base else {
+            return RunTrace {
+                inner: None,
+                null: NullSink,
+            };
+        };
+        let path = labeled_path(base, label);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create trace dir {}: {e}", dir.display()));
+        }
+        let sink = JsonLinesSink::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+        RunTrace {
+            inner: Some((path, sink)),
+            null: NullSink,
+        }
+    }
+}
+
+/// Inserts `label` before the extension: `runs.jsonl` + `skeleton` →
+/// `runs.skeleton.jsonl`. A path without an extension gets `.jsonl`.
+fn labeled_path(base: &Path, label: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+    base.with_file_name(format!("{stem}.{label}.{ext}"))
+}
+
+/// One run's trace destination: a JSON-lines file, or a no-op when
+/// `--trace-out` was not passed. Hand [`RunTrace::sink`] to a
+/// `build_distributed_traced` driver, then call [`RunTrace::finish`].
+#[derive(Debug)]
+pub struct RunTrace {
+    inner: Option<(PathBuf, JsonLinesSink<BufWriter<File>>)>,
+    null: NullSink,
+}
+
+impl RunTrace {
+    /// The sink to stream this run's events into.
+    pub fn sink(&mut self) -> &mut dyn TraceSink {
+        match &mut self.inner {
+            Some((_, sink)) => sink,
+            None => &mut self.null,
+        }
+    }
+
+    /// Flushes the file and prints where it was written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file could not be written in full.
+    pub fn finish(self) {
+        if let Some((path, sink)) = self.inner {
+            sink.finish()
+                .unwrap_or_else(|e| panic!("writing trace file {}: {e}", path.display()));
+            println!("  trace: wrote {}", path.display());
+        }
+    }
 }
 
 /// Picks the quick or full value depending on [`quick_mode`].

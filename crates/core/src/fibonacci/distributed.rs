@@ -40,7 +40,8 @@ use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
 use spanner_netsim::{
-    Ctx, MessageBudget, MessageSize, Network, ParallelNetwork, Protocol, RunError,
+    Ctx, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol, RunError,
+    TraceSink,
 };
 
 use crate::fibonacci::params::FibonacciParams;
@@ -51,7 +52,12 @@ use crate::spanner::Spanner;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FibMsg {
     /// (distance, source) wave for the parent/truncation stages.
-    Near { dist: u32, src: NodeId },
+    Near {
+        /// Hop distance from the wave's origin.
+        dist: u32,
+        /// The level-i vertex the wave originated at.
+        src: NodeId,
+    },
     /// Newly learned level-i identities (ball stage).
     Ids(Vec<NodeId>),
     /// Min-plus cease-potential wave.
@@ -308,6 +314,26 @@ impl Protocol for FibNode {
             }
         }
 
+        // Phase spans for traced runs. Declared by window *range* rather
+        // than start round: the stage pointer advances one round after the
+        // next level's timetable begins, so an equality check against the
+        // fresh window would miss its first round.
+        if ctx.tracing() {
+            if t >= w.parent.0 && t < w.trunc.0 {
+                ctx.enter_phase(format!("L{i}.parent"));
+            } else if t >= w.trunc.0 && t < w.ball.0 {
+                ctx.enter_phase(format!("L{i}.trunc"));
+            } else if t >= w.ball.0 && t < w.cease.0 {
+                ctx.enter_phase(format!("L{i}.ball"));
+            } else if t >= w.cease.0 && t < w.fail.0 {
+                ctx.enter_phase(format!("L{i}.cease"));
+            } else if t >= w.fail.0 && t < w.tokens.0 {
+                ctx.enter_phase(format!("L{i}.fail"));
+            } else if t >= w.tokens.0 && t <= w.tokens.1 {
+                ctx.enter_phase(format!("L{i}.tokens"));
+            }
+        }
+
         // ---- stage actions --------------------------------------------
         // Parent stage: sources seed themselves at the start; everyone
         // rebroadcasts improvements; at the end, mark the parent edge.
@@ -490,6 +516,7 @@ impl Protocol for FibNode {
                 self.stage += 1;
             } else {
                 self.finished = true;
+                ctx.exit_phase();
             }
         }
     }
@@ -526,6 +553,23 @@ pub fn build_distributed(
     params: &FibonacciParams,
     seed: u64,
 ) -> Result<Spanner, RunError> {
+    build_distributed_traced(g, params, seed, &mut NullSink)
+}
+
+/// Like [`build_distributed`], streaming round-level
+/// [`TraceEvent`](spanner_netsim::TraceEvent)s into `sink`; each stage of
+/// each level appears as an `L<i>.<stage>` phase span (`parent`, `trunc`,
+/// `ball`, `cease`, `fail`, `tokens`).
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_traced(
+    g: &Graph,
+    params: &FibonacciParams,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<Spanner, RunError> {
     let n = g.node_count();
     if n == 0 {
         return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
@@ -535,21 +579,12 @@ pub fn build_distributed(
     let cfg = Arc::new(FibConfig::build(params, n, budget, diameter_cap(g)));
     let mut net = Network::new(g, budget, seed);
     let max_rounds = cfg.total_rounds + 8;
-    let states = net.run(
+    let states = net.run_traced(
         |v, _| FibNode::new(Arc::clone(&cfg), levels[v.index()]),
         max_rounds,
+        sink,
     )?;
-    let mut edges = EdgeSet::new(g);
-    for st in &states {
-        for &(a, b) in &st.selected {
-            let e = g.find_edge(a, b).expect("selected edges exist");
-            edges.insert(e);
-        }
-    }
-    Ok(Spanner {
-        edges,
-        metrics: Some(net.metrics()),
-    })
+    Ok(collect_spanner(g, &states, net.metrics()))
 }
 
 /// Like [`build_distributed`], executed on `threads` worker threads.
@@ -566,6 +601,25 @@ pub fn build_distributed_parallel(
     seed: u64,
     threads: usize,
 ) -> Result<Spanner, RunError> {
+    build_distributed_parallel_traced(g, params, seed, threads, &mut NullSink)
+}
+
+/// Like [`build_distributed_parallel`], streaming trace events into `sink`.
+///
+/// The event stream is byte-identical to the one
+/// [`build_distributed_traced`] produces for the same graph and seed,
+/// whatever `threads` is (asserted in tests).
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_parallel_traced(
+    g: &Graph,
+    params: &FibonacciParams,
+    seed: u64,
+    threads: usize,
+    sink: &mut dyn TraceSink,
+) -> Result<Spanner, RunError> {
     let n = g.node_count();
     if n == 0 {
         return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
@@ -575,21 +629,27 @@ pub fn build_distributed_parallel(
     let cfg = Arc::new(FibConfig::build(params, n, budget, diameter_cap(g)));
     let mut net = ParallelNetwork::new(g, budget, seed, threads);
     let max_rounds = cfg.total_rounds + 8;
-    let states = net.run(
+    let states = net.run_traced(
         |v, _| FibNode::new(Arc::clone(&cfg), levels[v.index()]),
         max_rounds,
+        sink,
     )?;
+    Ok(collect_spanner(g, &states, net.metrics()))
+}
+
+/// Gathers per-node edge selections into a [`Spanner`] with metrics.
+fn collect_spanner(g: &Graph, states: &[FibNode], metrics: spanner_netsim::RunMetrics) -> Spanner {
     let mut edges = EdgeSet::new(g);
-    for st in &states {
+    for st in states {
         for &(a, b) in &st.selected {
             let e = g.find_edge(a, b).expect("selected edges exist");
             edges.insert(e);
         }
     }
-    Ok(Spanner {
+    Spanner {
         edges,
-        metrics: Some(net.metrics()),
-    })
+        metrics: Some(metrics),
+    }
 }
 
 /// Planned timetable length in rounds for a concrete input graph (used by
@@ -706,5 +766,43 @@ mod tests {
             assert_eq!(seq.edges, par.edges, "{threads} threads");
             assert_eq!(seq.metrics, par.metrics, "{threads} threads");
         }
+    }
+
+    /// Every per-level stage of the timetable shows up as its own phase
+    /// span, the trace totals reconcile with the metrics, and the stream is
+    /// byte-identical across executors.
+    #[test]
+    fn traced_run_has_stage_spans() {
+        let g = generators::connected_gnm(400, 2_000, 19);
+        let p = params(400, 2, 0);
+        let mut summary = spanner_netsim::TraceSummary::new();
+        let mut seq_sink = spanner_netsim::JsonLinesSink::new(Vec::<u8>::new());
+        let s = {
+            // One run feeds both the summary and the byte stream: replaying
+            // recorded events into a second summary must agree too.
+            let seq = build_distributed_traced(&g, &p, 4, &mut seq_sink).unwrap();
+            let bytes = seq_sink.finish().unwrap();
+            for line in std::str::from_utf8(&bytes).unwrap().lines() {
+                let ev = spanner_netsim::TraceEvent::from_json_line(line).expect("parseable");
+                summary.observe(&ev);
+            }
+            seq
+        };
+        let m = s.metrics.expect("metrics");
+        assert!(m.agrees_with(&summary), "{m} vs trace totals");
+        for stage in ["parent", "trunc", "ball", "cease", "fail", "tokens"] {
+            for level in 1..=p.order {
+                let name = format!("L{level}.{stage}");
+                assert!(
+                    summary.phases().iter().any(|ph| ph.name == name),
+                    "missing span {name}"
+                );
+            }
+        }
+        let mut par_sink = spanner_netsim::JsonLinesSink::new(Vec::<u8>::new());
+        let mut seq_sink2 = spanner_netsim::JsonLinesSink::new(Vec::<u8>::new());
+        build_distributed_traced(&g, &p, 4, &mut seq_sink2).unwrap();
+        build_distributed_parallel_traced(&g, &p, 4, 4, &mut par_sink).unwrap();
+        assert_eq!(seq_sink2.finish().unwrap(), par_sink.finish().unwrap());
     }
 }

@@ -38,6 +38,8 @@
 //! assert!(spanner.edges.len() < 6 * g.node_count());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod expand;
 pub mod fibonacci;

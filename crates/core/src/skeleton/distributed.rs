@@ -46,7 +46,8 @@ use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
 use spanner_netsim::{
-    Ctx, MessageBudget, MessageSize, Network, ParallelNetwork, Protocol, RunError,
+    Ctx, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol, RunError,
+    TraceSink,
 };
 
 use crate::expand::ClusterSampler;
@@ -62,7 +63,10 @@ type Cand = (NodeId, NodeId, NodeId);
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SkelMsg {
     /// "My cluster center is … (and I am alive)."
-    Exchange { cluster: NodeId },
+    Exchange {
+        /// The sender's current cluster center.
+        cluster: NodeId,
+    },
     /// Candidate edge flowing up the p1 tree.
     CandUp(Cand),
     /// Center's decision: join `cluster` via the edge (a, b).
@@ -416,6 +420,13 @@ impl Protocol for SkelNode {
         // ---- timetable-driven actions -------------------------------
         let w = self.cfg.windows[self.call];
 
+        // Every node (alive or dead — the timetable is global knowledge)
+        // declares the `Expand` call it is entering; the executor collapses
+        // the n identical declarations into one phase span per call.
+        if ctx.tracing() && t == w.exchange {
+            ctx.enter_phase(format!("expand[{:02}]", self.call));
+        }
+
         if t == w.exchange && self.alive {
             // Reset per-call scratch, then broadcast the cluster id.
             self.nbr_cluster.clear();
@@ -552,6 +563,7 @@ impl Protocol for SkelNode {
                 self.call += 1;
             } else {
                 self.finished = true;
+                ctx.exit_phase();
             }
         }
     }
@@ -582,6 +594,22 @@ pub fn build_distributed(
     params: &SkeletonParams,
     seed: u64,
 ) -> Result<Spanner, RunError> {
+    build_distributed_traced(g, params, seed, &mut NullSink)
+}
+
+/// Like [`build_distributed`], streaming round-level
+/// [`TraceEvent`](spanner_netsim::TraceEvent)s into `sink`; each `Expand`
+/// call appears as an `expand[..]` phase span.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_traced(
+    g: &Graph,
+    params: &SkeletonParams,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<Spanner, RunError> {
     let n = g.node_count();
     if n == 0 {
         return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
@@ -592,19 +620,8 @@ pub fn build_distributed(
     let cfg = Arc::new(SkelConfig::build(&schedule, n, seed, words));
     let mut net = Network::new(g, budget, seed);
     let max_rounds = cfg.total_rounds + 8;
-    let states = net.run(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds)?;
-
-    let mut edges = EdgeSet::new(g);
-    for st in &states {
-        for &(a, b) in &st.selected {
-            let e = g.find_edge(a, b).expect("selected edges are graph edges");
-            edges.insert(e);
-        }
-    }
-    Ok(Spanner {
-        edges,
-        metrics: Some(net.metrics()),
-    })
+    let states = net.run_traced(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds, sink)?;
+    Ok(collect_spanner(g, &states, net.metrics()))
 }
 
 /// Like [`build_distributed`], executed on `threads` worker threads.
@@ -622,6 +639,25 @@ pub fn build_distributed_parallel(
     seed: u64,
     threads: usize,
 ) -> Result<Spanner, RunError> {
+    build_distributed_parallel_traced(g, params, seed, threads, &mut NullSink)
+}
+
+/// Like [`build_distributed_parallel`], streaming trace events into `sink`.
+///
+/// The event stream is byte-identical to the one
+/// [`build_distributed_traced`] produces for the same graph and seed,
+/// whatever `threads` is (asserted in tests).
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_parallel_traced(
+    g: &Graph,
+    params: &SkeletonParams,
+    seed: u64,
+    threads: usize,
+    sink: &mut dyn TraceSink,
+) -> Result<Spanner, RunError> {
     let n = g.node_count();
     if n == 0 {
         return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
@@ -632,19 +668,23 @@ pub fn build_distributed_parallel(
     let cfg = Arc::new(SkelConfig::build(&schedule, n, seed, words));
     let mut net = ParallelNetwork::new(g, budget, seed, threads);
     let max_rounds = cfg.total_rounds + 8;
-    let states = net.run(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds)?;
+    let states = net.run_traced(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds, sink)?;
+    Ok(collect_spanner(g, &states, net.metrics()))
+}
 
+/// Gathers per-node edge selections into a [`Spanner`] with metrics.
+fn collect_spanner(g: &Graph, states: &[SkelNode], metrics: spanner_netsim::RunMetrics) -> Spanner {
     let mut edges = EdgeSet::new(g);
-    for st in &states {
+    for st in states {
         for &(a, b) in &st.selected {
             let e = g.find_edge(a, b).expect("selected edges are graph edges");
             edges.insert(e);
         }
     }
-    Ok(Spanner {
+    Spanner {
         edges,
-        metrics: Some(net.metrics()),
-    })
+        metrics: Some(metrics),
+    }
 }
 
 /// Number of simulator rounds the timetable occupies for an n-node input —
@@ -776,5 +816,52 @@ mod tests {
         // O(eps^-1 2^{log*} log n) with our constant-factor inflation: the
         // growth from 1k to 100k nodes is modest.
         assert!(r2 < 8 * r1, "rounds {r1} -> {r2}");
+    }
+
+    /// Acceptance check for the tracing subsystem: on an Erdős–Rényi input
+    /// the per-phase round totals of the trace sum exactly to the run's
+    /// `RunMetrics::rounds`, every `Expand` call appears as its own span,
+    /// and the traced spanner is the untraced one.
+    #[test]
+    fn traced_run_accounts_every_round() {
+        let params = SkeletonParams::default();
+        let g = generators::erdos_renyi_gnm(10_000, 30_000, 3);
+        let mut summary = spanner_netsim::TraceSummary::new();
+        let s = build_distributed_traced(&g, &params, 7, &mut summary).unwrap();
+        let m = s.metrics.expect("distributed metrics");
+        assert!(m.agrees_with(&summary), "{m} vs trace totals");
+        let phase_rounds: u32 = summary.phases().iter().map(|p| p.rounds).sum::<u32>()
+            + summary.untracked().map_or(0, |p| p.rounds);
+        assert_eq!(phase_rounds, m.rounds);
+        let expands = summary
+            .phases()
+            .iter()
+            .filter(|p| p.name.starts_with("expand["))
+            .count();
+        assert_eq!(expands, params.schedule(g.node_count()).calls.len());
+        assert!(summary.is_complete());
+        // Tracing must not perturb the run itself.
+        let untraced = build_distributed(&g, &params, 7).unwrap();
+        assert_eq!(s.edges, untraced.edges);
+        assert_eq!(s.metrics, untraced.metrics);
+    }
+
+    /// The serialized trace stream is byte-identical between the sequential
+    /// and parallel drivers at every thread count.
+    #[test]
+    fn traced_parallel_stream_matches_sequential() {
+        let params = SkeletonParams::default();
+        let g = generators::connected_gnm(600, 3_600, 29);
+        let mut seq_sink = spanner_netsim::JsonLinesSink::new(Vec::<u8>::new());
+        let seq = build_distributed_traced(&g, &params, 6, &mut seq_sink).unwrap();
+        let seq_bytes = seq_sink.finish().unwrap();
+        assert!(!seq_bytes.is_empty());
+        for threads in [1, 2, 4, 8] {
+            let mut par_sink = spanner_netsim::JsonLinesSink::new(Vec::<u8>::new());
+            let par =
+                build_distributed_parallel_traced(&g, &params, 6, threads, &mut par_sink).unwrap();
+            assert_eq!(seq.edges, par.edges, "{threads} threads");
+            assert_eq!(seq_bytes, par_sink.finish().unwrap(), "{threads} threads");
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! weighted graphs"* being optimal in all respects; reproducing that row
 //! faithfully needs a weighted substrate: [`WeightedGraph`] attaches a
 //! positive integer weight to every edge of a [`Graph`] (sharing its edge
-//! ids, so [`EdgeSet`](crate::EdgeSet) spanners work unchanged) and
+//! ids, so [`EdgeSet`] spanners work unchanged) and
 //! [`dijkstra`] provides exact weighted distances.
 
 use std::cmp::Reverse;

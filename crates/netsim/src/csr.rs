@@ -1,6 +1,6 @@
 //! Flat CSR adjacency shared by the sequential and parallel executors.
 //!
-//! [`Graph`](spanner_graph::Graph) stores adjacency in edge-insertion order;
+//! [`Graph`] stores adjacency in edge-insertion order;
 //! the executors need each node's neighbor list **sorted ascending** (the
 //! determinism contract: `Ctx::neighbors` is sorted, `Ctx::send` binary
 //! searches it). Previously both executors built their own

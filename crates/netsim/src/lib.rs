@@ -42,6 +42,8 @@
 //! assert!(states.iter().all(|s| s.reached()));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod budget;
 pub mod csr;
 pub mod metrics;
@@ -49,9 +51,14 @@ pub mod parallel;
 pub mod patterns;
 pub mod rng;
 pub mod sync;
+pub mod trace;
 
 pub use budget::{BudgetViolation, MessageBudget};
 pub use csr::CsrAdjacency;
 pub use metrics::RunMetrics;
 pub use parallel::{run_parallel, ParallelNetwork, ParallelOutcome};
 pub use sync::{Ctx, MessageSize, Network, Protocol, RunError};
+pub use trace::{
+    size_bucket, JsonLinesSink, NullSink, PhaseCost, RingBufferSink, TraceEvent, TraceSink,
+    TraceSummary, SIZE_BUCKETS,
+};

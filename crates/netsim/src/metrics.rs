@@ -38,6 +38,19 @@ impl RunMetrics {
             self.words as f64 / self.messages as f64
         }
     }
+
+    /// Whether a trace summary's totals equal these aggregates.
+    ///
+    /// This is the invariant linking the two accounting paths: rounds,
+    /// messages, and words summed over the trace's per-phase buckets — and
+    /// the message count summed over the size histogram — must reproduce
+    /// the aggregate counters exactly, on successful *and* failed runs.
+    pub fn agrees_with(&self, summary: &crate::trace::TraceSummary) -> bool {
+        self.rounds == summary.total_rounds()
+            && self.messages == summary.total_messages()
+            && self.words == summary.total_words()
+            && self.messages == summary.size_histogram().iter().sum::<u64>()
+    }
 }
 
 impl fmt::Display for RunMetrics {

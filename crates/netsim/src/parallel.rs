@@ -36,6 +36,7 @@ use crate::csr::CsrAdjacency;
 use crate::metrics::RunMetrics;
 use crate::rng::node_rng;
 use crate::sync::{Ctx, MessageSize, Protocol, RunError};
+use crate::trace::{NullSink, PhaseAction, TraceSink, Tracer};
 
 /// Outcome of a [`run_parallel`] call: final states plus cost accounting.
 #[derive(Debug)]
@@ -58,6 +59,9 @@ struct ChunkSlot<P: Protocol> {
     /// Duplicate-send stamps (indexed by *target* node, so length n).
     seen: Vec<u64>,
     stamp: u64,
+    /// Per-node phase declarations buffered during the round; the
+    /// coordinator drains them in global sender order while routing.
+    phases: Vec<Vec<PhaseAction>>,
     /// Whether every node in this chunk reported [`Protocol::done`] after
     /// the most recent round.
     done: bool,
@@ -162,7 +166,59 @@ impl<'g> ParallelNetwork<'g> {
     /// [`RunError::Budget`] if any message exceeds the budget. Either way
     /// [`ParallelNetwork::metrics`] reflects everything accepted before the
     /// error, matching the sequential executor word for word.
-    pub fn run<P, F>(&mut self, mut factory: F, max_rounds: u32) -> Result<Vec<P>, RunError>
+    pub fn run<P, F>(&mut self, factory: F, max_rounds: u32) -> Result<Vec<P>, RunError>
+    where
+        P: Protocol + Send,
+        P::Msg: Send,
+        F: FnMut(NodeId, &mut SmallRng) -> P,
+    {
+        self.run_traced(factory, max_rounds, &mut NullSink)
+    }
+
+    /// Like [`ParallelNetwork::run`], streaming
+    /// [`TraceEvent`](crate::TraceEvent)s into `sink`.
+    ///
+    /// The stream is **identical** to the sequential
+    /// [`Network::run_traced`](crate::Network::run_traced) stream for the
+    /// same run, regardless of `threads`: protocols buffer their phase
+    /// declarations while the workers execute, and the coordinator applies
+    /// them — together with the per-message accounting — in global sender
+    /// order during routing, the same order the sequential flush uses.
+    /// The sink is only ever touched by the coordinator thread.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParallelNetwork::run`].
+    pub fn run_traced<P, F>(
+        &mut self,
+        factory: F,
+        max_rounds: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<P>, RunError>
+    where
+        P: Protocol + Send,
+        P::Msg: Send,
+        F: FnMut(NodeId, &mut SmallRng) -> P,
+    {
+        let mut tracer = Tracer::new(sink);
+        // Monomorphized on the tracing decision like the sequential
+        // executor: the untraced routing loop carries no per-message
+        // tracer branches.
+        let result = if tracer.enabled() {
+            self.run_inner::<P, F, true>(factory, max_rounds, &mut tracer)
+        } else {
+            self.run_inner::<P, F, false>(factory, max_rounds, &mut tracer)
+        };
+        tracer.finish(&self.metrics, result.as_ref().err());
+        result
+    }
+
+    fn run_inner<P, F, const TRACED: bool>(
+        &mut self,
+        mut factory: F,
+        max_rounds: u32,
+        tracer: &mut Tracer<'_>,
+    ) -> Result<Vec<P>, RunError>
     where
         P: Protocol + Send,
         P::Msg: Send,
@@ -171,6 +227,11 @@ impl<'g> ParallelNetwork<'g> {
         self.metrics = RunMetrics::default();
         let n = self.graph.node_count();
         if n == 0 {
+            // Match the sequential stream: the (empty) init round is traced.
+            if TRACED {
+                tracer.begin_round(0);
+                tracer.end_round();
+            }
             return Ok(Vec::new());
         }
 
@@ -195,6 +256,7 @@ impl<'g> ParallelNetwork<'g> {
                     outboxes: (lo..hi).map(|_| Vec::new()).collect(),
                     seen: vec![0u64; n],
                     stamp: 0,
+                    phases: (lo..hi).map(|_| Vec::new()).collect(),
                     done: false,
                 })
             })
@@ -226,6 +288,7 @@ impl<'g> ParallelNetwork<'g> {
                         outboxes,
                         seen,
                         stamp,
+                        phases,
                         done,
                     } = &mut *guard;
                     for i in 0..nodes.len() {
@@ -245,6 +308,8 @@ impl<'g> ParallelNetwork<'g> {
                             &mut outboxes[i],
                             seen,
                             *stamp,
+                            &mut phases[i],
+                            TRACED,
                         );
                         if round == 0 {
                             nodes[i].init(&mut ctx);
@@ -273,55 +338,74 @@ impl<'g> ParallelNetwork<'g> {
             // happen in that same order, which is what makes the partial
             // accounting of a failed run identical to the sequential path.
             let mut scratch: Vec<(NodeId, P::Msg)> = Vec::new();
-            let mut deliver =
-                |round: u32, metrics: &mut RunMetrics| -> Result<(u64, bool), BudgetViolation> {
-                    let mut guards: Vec<MutexGuard<'_, ChunkSlot<P>>> = slots
-                        .iter()
-                        .map(|m| m.lock().expect("route lock"))
-                        .collect();
-                    let mut in_flight = 0u64;
-                    for ci in 0..nchunks {
-                        for i in 0..guards[ci].nodes.len() {
-                            let sender = NodeId((ci * chunk + i) as u32);
-                            // Swap the outbox out so pushing into (possibly the
-                            // same) guard doesn't alias; capacities ping-pong
-                            // between `scratch` and the slot, so no allocation.
-                            std::mem::swap(&mut scratch, &mut guards[ci].outboxes[i]);
-                            for (to, msg) in scratch.drain(..) {
-                                let words = msg.words();
-                                if !budget.allows(words) {
-                                    return Err(BudgetViolation {
-                                        sender,
-                                        receiver: to,
-                                        round,
-                                        words,
-                                        budget,
-                                    });
-                                }
-                                metrics.messages += 1;
-                                metrics.words += words as u64;
-                                metrics.max_message_words = metrics.max_message_words.max(words);
-                                let tc = to.index() / chunk;
-                                let ti = to.index() - tc * chunk;
-                                guards[tc].inboxes[ti].push((sender, msg));
-                                in_flight += 1;
+            let mut deliver = |round: u32,
+                               metrics: &mut RunMetrics,
+                               tracer: &mut Tracer<'_>|
+             -> Result<(u64, bool), BudgetViolation> {
+                let mut guards: Vec<MutexGuard<'_, ChunkSlot<P>>> = slots
+                    .iter()
+                    .map(|m| m.lock().expect("route lock"))
+                    .collect();
+                let mut in_flight = 0u64;
+                for ci in 0..nchunks {
+                    for i in 0..guards[ci].nodes.len() {
+                        let sender = NodeId((ci * chunk + i) as u32);
+                        // Phase declarations first, then the node's
+                        // messages — the order the sequential flush uses.
+                        if TRACED {
+                            tracer.apply_actions(&mut guards[ci].phases[i]);
+                        }
+                        // Swap the outbox out so pushing into (possibly the
+                        // same) guard doesn't alias; capacities ping-pong
+                        // between `scratch` and the slot, so no allocation.
+                        std::mem::swap(&mut scratch, &mut guards[ci].outboxes[i]);
+                        if TRACED {
+                            tracer.on_outbox(scratch.len());
+                        }
+                        for (to, msg) in scratch.drain(..) {
+                            let words = msg.words();
+                            if !budget.allows(words) {
+                                return Err(BudgetViolation {
+                                    sender,
+                                    receiver: to,
+                                    round,
+                                    words,
+                                    budget,
+                                });
                             }
+                            metrics.messages += 1;
+                            metrics.words += words as u64;
+                            metrics.max_message_words = metrics.max_message_words.max(words);
+                            if TRACED {
+                                tracer.on_message(words);
+                            }
+                            let tc = to.index() / chunk;
+                            let ti = to.index() - tc * chunk;
+                            guards[tc].inboxes[ti].push((sender, msg));
+                            in_flight += 1;
                         }
                     }
-                    let all_done = guards.iter().all(|g| g.done);
-                    Ok((in_flight, all_done))
-                };
+                }
+                let all_done = guards.iter().all(|g| g.done);
+                Ok((in_flight, all_done))
+            };
 
             // Init phase (round 0).
+            if TRACED {
+                tracer.begin_round(0);
+            }
             start.wait();
             finish.wait();
-            let (mut in_flight, mut all_done) = match deliver(0, metrics) {
+            let (mut in_flight, mut all_done) = match deliver(0, metrics, tracer) {
                 Ok(v) => v,
                 Err(v) => {
                     shutdown();
                     return Err(RunError::Budget(v));
                 }
             };
+            if TRACED {
+                tracer.end_round();
+            }
 
             let mut round: u32 = 0;
             loop {
@@ -335,16 +419,22 @@ impl<'g> ParallelNetwork<'g> {
                 }
                 round += 1;
                 metrics.rounds = round;
+                if TRACED {
+                    tracer.begin_round(round);
+                }
                 round_no.store(round, Ordering::Release);
                 start.wait();
                 finish.wait();
-                (in_flight, all_done) = match deliver(round, metrics) {
+                (in_flight, all_done) = match deliver(round, metrics, tracer) {
                     Ok(v) => v,
                     Err(v) => {
                         shutdown();
                         return Err(RunError::Budget(v));
                     }
                 };
+                if TRACED {
+                    tracer.end_round();
+                }
             }
         });
 

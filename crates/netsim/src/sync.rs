@@ -28,6 +28,7 @@ use crate::budget::{BudgetViolation, MessageBudget};
 use crate::csr::CsrAdjacency;
 use crate::metrics::RunMetrics;
 use crate::rng::node_rng;
+use crate::trace::{NullSink, PhaseAction, TraceSink, Tracer};
 
 /// Message length in words of O(log n) bits.
 ///
@@ -106,6 +107,11 @@ pub struct Ctx<'a, M> {
     /// so the array never needs clearing — O(1) per send, no per-round work.
     seen: &'a mut [u64],
     stamp: u64,
+    /// Phase declarations buffered this round; the executor drains them in
+    /// global sender order, which keeps trace streams executor-independent.
+    phases: &'a mut Vec<PhaseAction>,
+    /// Whether the current run collects trace events (see [`Ctx::tracing`]).
+    tracing: bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -120,6 +126,8 @@ impl<'a, M> Ctx<'a, M> {
         outbox: &'a mut Vec<(NodeId, M)>,
         seen: &'a mut [u64],
         stamp: u64,
+        phases: &'a mut Vec<PhaseAction>,
+        tracing: bool,
     ) -> Self {
         Ctx {
             node,
@@ -130,6 +138,8 @@ impl<'a, M> Ctx<'a, M> {
             outbox,
             seen,
             stamp,
+            phases,
+            tracing,
         }
     }
 
@@ -196,6 +206,46 @@ impl<'a, M> Ctx<'a, M> {
         for &to in neighbors {
             self.mark_sent(to);
             self.outbox.push((to, msg.clone()));
+        }
+    }
+
+    /// Whether the current run is collecting trace events.
+    ///
+    /// Protocols that build phase names dynamically should gate the
+    /// formatting on this so untraced runs stay allocation-free:
+    ///
+    /// ```ignore
+    /// if ctx.tracing() {
+    ///     ctx.enter_phase(format!("expand[{call:02}]"));
+    /// }
+    /// ```
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Declares that this node entered the named phase this round.
+    ///
+    /// Phase spans are a *global* notion: timetable-driven protocols have
+    /// every node declare the same phase in the same round, and the
+    /// executors deduplicate consecutive identical declarations into one
+    /// [`PhaseEnter`](crate::TraceEvent::PhaseEnter) event. Entering a
+    /// different phase implicitly closes the current one. No-op (and free)
+    /// when the run is untraced — but see [`Ctx::tracing`] for avoiding the
+    /// cost of *building* the name.
+    pub fn enter_phase(&mut self, name: impl Into<String>) {
+        if self.tracing {
+            self.phases.push(PhaseAction::Enter(name.into()));
+        }
+    }
+
+    /// Declares that the current phase ended this round.
+    ///
+    /// Deduplicated like [`Ctx::enter_phase`]; a no-op when no phase is
+    /// open or the run is untraced. Runs that end (or fail) with a phase
+    /// still open have the span closed automatically.
+    pub fn exit_phase(&mut self) {
+        if self.tracing {
+            self.phases.push(PhaseAction::Exit);
         }
     }
 
@@ -324,7 +374,58 @@ impl<'g> Network<'g> {
     ///
     /// [`RunError::RoundLimit`] if not quiescent within `max_rounds`;
     /// [`RunError::Budget`] if any message exceeds the budget.
-    pub fn run<P, F>(&mut self, mut factory: F, max_rounds: u32) -> Result<Vec<P>, RunError>
+    pub fn run<P, F>(&mut self, factory: F, max_rounds: u32) -> Result<Vec<P>, RunError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &mut SmallRng) -> P,
+    {
+        self.run_traced(factory, max_rounds, &mut NullSink)
+    }
+
+    /// Like [`Network::run`], streaming [`TraceEvent`](crate::TraceEvent)s
+    /// into `sink` as the run executes.
+    ///
+    /// With a disabled sink ([`NullSink`]) this is exactly `run`. The event
+    /// stream is deterministic and identical to the one
+    /// [`ParallelNetwork::run_traced`](crate::ParallelNetwork::run_traced)
+    /// produces for the same graph, seed, and protocol — byte-for-byte when
+    /// serialized. On a failed run the partial round and the open phase
+    /// span are flushed before the closing
+    /// [`RunEnd`](crate::TraceEvent::RunEnd), so the trace always accounts
+    /// for exactly what [`Network::metrics`] reports.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::run`].
+    pub fn run_traced<P, F>(
+        &mut self,
+        factory: F,
+        max_rounds: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<P>, RunError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &mut SmallRng) -> P,
+    {
+        let mut tracer = Tracer::new(sink);
+        // Monomorphize the round loop on the tracing decision: the untraced
+        // instantiation carries no per-message branches at all, so `run` costs
+        // exactly what it did before tracing existed.
+        let result = if tracer.enabled() {
+            self.run_inner::<P, F, true>(factory, max_rounds, &mut tracer)
+        } else {
+            self.run_inner::<P, F, false>(factory, max_rounds, &mut tracer)
+        };
+        tracer.finish(&self.metrics, result.as_ref().err());
+        result
+    }
+
+    fn run_inner<P, F, const TRACED: bool>(
+        &mut self,
+        mut factory: F,
+        max_rounds: u32,
+        tracer: &mut Tracer<'_>,
+    ) -> Result<Vec<P>, RunError>
     where
         P: Protocol,
         F: FnMut(NodeId, &mut SmallRng) -> P,
@@ -352,8 +453,12 @@ impl<'g> Network<'g> {
         let mut outbox: Vec<(NodeId, P::Msg)> = Vec::new();
         let mut seen = vec![0u64; n];
         let mut stamp = 0u64;
+        let mut phase_actions: Vec<PhaseAction> = Vec::new();
 
         // Init phase (round 0).
+        if TRACED {
+            tracer.begin_round(0);
+        }
         for v in 0..n {
             let node = NodeId(v as u32);
             outbox.clear();
@@ -368,10 +473,18 @@ impl<'g> Network<'g> {
                     outbox: &mut outbox,
                     seen: &mut seen,
                     stamp,
+                    phases: &mut phase_actions,
+                    tracing: TRACED,
                 };
                 nodes[v].init(&mut ctx);
             }
-            self.flush(node, 0, &mut outbox, &mut staging)?;
+            if TRACED {
+                tracer.apply_actions(&mut phase_actions);
+            }
+            self.flush::<_, TRACED>(node, 0, &mut outbox, &mut staging, tracer)?;
+        }
+        if TRACED {
+            tracer.end_round();
         }
 
         let mut round: u32 = 0;
@@ -385,6 +498,9 @@ impl<'g> Network<'g> {
             }
             round += 1;
             self.metrics.rounds = round;
+            if TRACED {
+                tracer.begin_round(round);
+            }
 
             scatter(&mut staging, &mut flat, &mut offsets, &mut cursor);
 
@@ -404,10 +520,18 @@ impl<'g> Network<'g> {
                         outbox: &mut outbox,
                         seen: &mut seen,
                         stamp,
+                        phases: &mut phase_actions,
+                        tracing: TRACED,
                     };
                     nodes[v].round(&mut ctx, inbox);
                 }
-                self.flush(node, round, &mut outbox, &mut staging)?;
+                if TRACED {
+                    tracer.apply_actions(&mut phase_actions);
+                }
+                self.flush::<_, TRACED>(node, round, &mut outbox, &mut staging, tracer)?;
+            }
+            if TRACED {
+                tracer.end_round();
             }
         }
 
@@ -415,13 +539,17 @@ impl<'g> Network<'g> {
     }
 
     /// Validates one node's outbox and appends it to the staging buffer.
-    fn flush<M: MessageSize>(
+    fn flush<M: MessageSize, const TRACED: bool>(
         &mut self,
         sender: NodeId,
         round: u32,
         outbox: &mut Vec<(NodeId, M)>,
         staging: &mut Vec<(NodeId, NodeId, M)>,
+        tracer: &mut Tracer<'_>,
     ) -> Result<(), RunError> {
+        if TRACED {
+            tracer.on_outbox(outbox.len());
+        }
         for (to, msg) in outbox.drain(..) {
             let words = msg.words();
             if !self.budget.allows(words) {
@@ -436,6 +564,9 @@ impl<'g> Network<'g> {
             self.metrics.messages += 1;
             self.metrics.words += words as u64;
             self.metrics.max_message_words = self.metrics.max_message_words.max(words);
+            if TRACED {
+                tracer.on_message(words);
+            }
             staging.push((to, sender, msg));
         }
         Ok(())

@@ -1,14 +1,21 @@
 //! Cross-executor parity: the sequential and parallel executors must be
 //! observationally identical — same final states, same RNG streams, same
-//! [`RunMetrics`] — on every graph, seed, and thread count, including the
-//! partial metrics left behind by failed runs.
+//! [`RunMetrics`], same trace event stream — on every graph, seed, and
+//! thread count, including the partial accounting left behind by failed
+//! runs.
 
 use proptest::prelude::*;
 
 use rand::Rng;
 use spanner_graph::{generators, Graph, NodeId};
 use spanner_netsim::patterns::MinIdBroadcast;
-use spanner_netsim::{Ctx, MessageBudget, Network, ParallelNetwork, Protocol, RunError};
+use spanner_netsim::{
+    Ctx, JsonLinesSink, MessageBudget, Network, ParallelNetwork, Protocol, RingBufferSink,
+    RunError, TraceEvent,
+};
+
+/// Large enough that no test run ever evicts an event.
+const TRACE_CAP: usize = 1 << 20;
 
 /// A protocol exercising every determinism-relevant feature at once: each
 /// round a node flips its private coin, gossips the value to all neighbors,
@@ -39,12 +46,18 @@ impl Protocol for GossipHash {
     type Msg = u64;
 
     fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.enter_phase("seed");
         let word = ctx.rng().gen::<u64>();
         self.mix(ctx.me(), word);
         ctx.broadcast(word & 0xFFFF);
     }
 
     fn round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[(NodeId, u64)]) {
+        // Two-round waves exercise the consecutive-declaration dedup: the
+        // second round of each wave re-declares the same name.
+        if ctx.tracing() {
+            ctx.enter_phase(format!("wave[{}]", (ctx.round() - 1) / 2));
+        }
         for &(s, w) in inbox {
             self.mix(s, w);
         }
@@ -58,12 +71,25 @@ impl Protocol for GossipHash {
 
 fn assert_parity(g: &Graph, seed: u64, ttl: u32) {
     let mut seq = Network::new(g, MessageBudget::CONGEST, seed);
-    let seq_states = seq.run(|_, _| GossipHash::new(ttl), 4 * ttl + 16).unwrap();
+    let mut seq_trace = RingBufferSink::new(TRACE_CAP);
+    let seq_states = seq
+        .run_traced(|_, _| GossipHash::new(ttl), 4 * ttl + 16, &mut seq_trace)
+        .unwrap();
+    assert_eq!(seq_trace.dropped(), 0);
+    let seq_events = seq_trace.into_events();
     for threads in [1usize, 2, 4, 8] {
         let mut par = ParallelNetwork::new(g, MessageBudget::CONGEST, seed, threads);
-        let par_states = par.run(|_, _| GossipHash::new(ttl), 4 * ttl + 16).unwrap();
+        let mut par_trace = RingBufferSink::new(TRACE_CAP);
+        let par_states = par
+            .run_traced(|_, _| GossipHash::new(ttl), 4 * ttl + 16, &mut par_trace)
+            .unwrap();
         assert_eq!(seq_states, par_states, "states, {threads} threads");
         assert_eq!(seq.metrics(), par.metrics(), "metrics, {threads} threads");
+        assert_eq!(
+            seq_events,
+            par_trace.into_events(),
+            "trace events, {threads} threads"
+        );
     }
 }
 
@@ -124,7 +150,7 @@ fn executors_agree_on_min_id_broadcast() {
 }
 
 /// Error paths must account identically too: a round-limited run leaves the
-/// same metrics in both executors.
+/// same metrics and the same (truncated) trace stream in both executors.
 #[test]
 fn round_limit_metrics_agree() {
     #[derive(Debug)]
@@ -132,6 +158,7 @@ fn round_limit_metrics_agree() {
     impl Protocol for Chatter {
         type Msg = u64;
         fn init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.enter_phase("chatter");
             ctx.broadcast(1);
         }
         fn round(&mut self, ctx: &mut Ctx<'_, u64>, _: &[(NodeId, u64)]) {
@@ -140,18 +167,36 @@ fn round_limit_metrics_agree() {
     }
     let g = generators::erdos_renyi_gnm(40, 120, 2);
     let mut seq = Network::new(&g, MessageBudget::CONGEST, 7);
-    let seq_err = seq.run(|_, _| Chatter, 6).unwrap_err();
+    let mut seq_trace = RingBufferSink::new(TRACE_CAP);
+    let seq_err = seq
+        .run_traced(|_, _| Chatter, 6, &mut seq_trace)
+        .unwrap_err();
     assert_eq!(seq_err, RunError::RoundLimit { max_rounds: 6 });
+    let seq_events = seq_trace.into_events();
+    assert!(matches!(
+        seq_events.last(),
+        Some(TraceEvent::RunEnd { error: Some(_), .. })
+    ));
     for threads in [1usize, 3, 8] {
         let mut par = ParallelNetwork::new(&g, MessageBudget::CONGEST, 7, threads);
-        let par_err = par.run(|_, _| Chatter, 6).unwrap_err();
+        let mut par_trace = RingBufferSink::new(TRACE_CAP);
+        let par_err = par
+            .run_traced(|_, _| Chatter, 6, &mut par_trace)
+            .unwrap_err();
         assert_eq!(seq_err, par_err);
         assert_eq!(seq.metrics(), par.metrics(), "{threads} threads");
+        assert_eq!(
+            seq_events,
+            par_trace.into_events(),
+            "trace events, {threads} threads"
+        );
     }
 }
 
 /// Budget-violation runs leave identical partial metrics (the seed executor
-/// lost the parallel metrics entirely on this path).
+/// lost the parallel metrics entirely on this path) and identical partial
+/// trace streams: the interrupted round is flushed, the open phase span is
+/// closed, and the closing record carries the error.
 #[test]
 fn budget_violation_metrics_agree() {
     #[derive(Debug)]
@@ -162,6 +207,9 @@ fn budget_violation_metrics_agree() {
             ctx.broadcast(vec![1]);
         }
         fn round(&mut self, ctx: &mut Ctx<'_, Vec<u64>>, _: &[(NodeId, Vec<u64>)]) {
+            if ctx.tracing() {
+                ctx.enter_phase(format!("r{}", ctx.round()));
+            }
             if ctx.round() == 2 && ctx.me().0 >= 20 {
                 ctx.broadcast(vec![0; 7]);
             } else if ctx.round() < 2 {
@@ -171,13 +219,88 @@ fn budget_violation_metrics_agree() {
     }
     let g = generators::erdos_renyi_gnm(40, 100, 5);
     let mut seq = Network::new(&g, MessageBudget::Words(4), 9);
-    let seq_err = seq.run(|_, _| LateFat, 32).unwrap_err();
+    let mut seq_trace = RingBufferSink::new(TRACE_CAP);
+    let seq_err = seq
+        .run_traced(|_, _| LateFat, 32, &mut seq_trace)
+        .unwrap_err();
     assert!(matches!(seq_err, RunError::Budget(_)));
     assert!(seq.metrics().messages > 0, "partial accounting expected");
+    let seq_events = seq_trace.into_events();
+    // The stream ends with: the partial round, the forced close of the open
+    // phase, and a RunEnd recording the violation.
+    let tail: Vec<&TraceEvent> = seq_events.iter().rev().take(3).collect();
+    assert!(matches!(tail[0], TraceEvent::RunEnd { error: Some(_), .. }));
+    assert!(matches!(tail[1], TraceEvent::PhaseExit { .. }));
+    assert!(matches!(tail[2], TraceEvent::Round { .. }));
     for threads in [1usize, 2, 4, 8] {
         let mut par = ParallelNetwork::new(&g, MessageBudget::Words(4), 9, threads);
-        let par_err = par.run(|_, _| LateFat, 32).unwrap_err();
+        let mut par_trace = RingBufferSink::new(TRACE_CAP);
+        let par_err = par
+            .run_traced(|_, _| LateFat, 32, &mut par_trace)
+            .unwrap_err();
         assert_eq!(seq_err, par_err, "{threads} threads");
         assert_eq!(seq.metrics(), par.metrics(), "{threads} threads");
+        assert_eq!(
+            seq_events,
+            par_trace.into_events(),
+            "trace events, {threads} threads"
+        );
+    }
+}
+
+/// The serialized JSON-lines form must be byte-identical across executors,
+/// not merely event-equal: downstream tools may diff the files directly.
+#[test]
+fn trace_jsonl_byte_identical() {
+    let g = generators::erdos_renyi_gnm(80, 240, 17);
+    let run_seq = || {
+        let mut sink = JsonLinesSink::new(Vec::<u8>::new());
+        let mut net = Network::new(&g, MessageBudget::CONGEST, 3);
+        net.run_traced(|_, _| GossipHash::new(4), 64, &mut sink)
+            .unwrap();
+        sink.finish().unwrap()
+    };
+    let seq_bytes = run_seq();
+    assert!(!seq_bytes.is_empty());
+    // Every line round-trips through the parser.
+    for line in std::str::from_utf8(&seq_bytes).unwrap().lines() {
+        let ev = TraceEvent::from_json_line(line).expect("parseable line");
+        assert_eq!(ev.to_json_line(), line);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let mut sink = JsonLinesSink::new(Vec::<u8>::new());
+        let mut par = ParallelNetwork::new(&g, MessageBudget::CONGEST, 3, threads);
+        par.run_traced(|_, _| GossipHash::new(4), 64, &mut sink)
+            .unwrap();
+        let par_bytes = sink.finish().unwrap();
+        assert_eq!(seq_bytes, par_bytes, "{threads} threads");
+    }
+}
+
+/// An empty graph still produces a well-formed stream (the init round and a
+/// successful RunEnd), identically in both executors.
+#[test]
+fn trace_parity_on_empty_graph() {
+    let g = Graph::from_edges(0, std::iter::empty::<(u32, u32)>());
+    let mut seq = Network::new(&g, MessageBudget::CONGEST, 1);
+    let mut seq_trace = RingBufferSink::new(16);
+    seq.run_traced(|_, _| GossipHash::new(2), 8, &mut seq_trace)
+        .unwrap();
+    let seq_events = seq_trace.into_events();
+    assert_eq!(seq_events.len(), 2);
+    assert!(matches!(
+        seq_events.last(),
+        Some(TraceEvent::RunEnd {
+            rounds: 0,
+            error: None,
+            ..
+        })
+    ));
+    for threads in [1usize, 4] {
+        let mut par = ParallelNetwork::new(&g, MessageBudget::CONGEST, 1, threads);
+        let mut par_trace = RingBufferSink::new(16);
+        par.run_traced(|_, _| GossipHash::new(2), 8, &mut par_trace)
+            .unwrap();
+        assert_eq!(seq_events, par_trace.into_events(), "{threads} threads");
     }
 }

@@ -18,9 +18,11 @@
 //! version run in O(k) rounds with 2-word messages.
 
 use spanner_graph::{EdgeId, EdgeSet, Graph, NodeId};
-use spanner_netsim::{Ctx, MessageBudget, Network, NullSink, Protocol, RunError, TraceSink};
+use spanner_netsim::{
+    Ctx, FaultPlan, MessageBudget, Network, NullSink, Protocol, RunError, TraceSink,
+};
 use ultrasparse::expand::ClusterSampler;
-use ultrasparse::Spanner;
+use ultrasparse::{FaultError, Spanner};
 
 /// Parameters: the stretch is 2k−1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,6 +320,72 @@ pub fn build_distributed_traced(
         edges,
         metrics: Some(net.metrics()),
     })
+}
+
+/// Runs the distributed Baswana–Sen protocol under a fault schedule.
+///
+/// Never panics and never returns an unchecked spanner: the surviving
+/// output is re-certified against the fault-free host graph (spanning +
+/// the exact (2k−1) stretch bound), and every failure comes back as a
+/// typed [`FaultError`] retaining the partial metrics with fault counters.
+///
+/// # Errors
+///
+/// [`FaultError::Run`] when the simulated run fails;
+/// [`FaultError::Uncertified`] when the surviving output is not a
+/// certified (2k−1)-spanner.
+pub fn build_distributed_faulted(
+    g: &Graph,
+    params: &BaswanaSenParams,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<Spanner, FaultError> {
+    let net = std::cell::RefCell::new(
+        Network::new(g, MessageBudget::Words(2), seed).with_faults(plan.clone()),
+    );
+    let n = g.node_count();
+    let p = params.probability(n);
+    ultrasparse::faults::build_certified(
+        g,
+        || {
+            let mut net = net.borrow_mut();
+            let states = net.run(
+                |v, _| BsNode {
+                    params: *params,
+                    sampler: ClusterSampler::new(seed),
+                    p,
+                    cluster: Some(v),
+                    chosen: Vec::new(),
+                    iter: 0,
+                    finished: false,
+                },
+                params.k + 4,
+            )?;
+            let mut edges = EdgeSet::new(g);
+            for (v, st) in states.iter().enumerate() {
+                for &w in &st.chosen {
+                    let e = g
+                        .find_edge(NodeId(v as u32), w)
+                        .expect("chosen edge exists");
+                    edges.insert(e);
+                }
+            }
+            let metrics = net.metrics();
+            Ok(Spanner {
+                edges,
+                metrics: Some(metrics),
+            })
+        },
+        || net.borrow().metrics(),
+        |s| {
+            spanner_graph::verify_stretch_exact(
+                g,
+                &s.edges,
+                spanner_graph::StretchBound::multiplicative((2 * params.k - 1) as f64),
+            )
+            .map_err(|v| v.to_string())
+        },
+    )
 }
 
 #[cfg(test)]

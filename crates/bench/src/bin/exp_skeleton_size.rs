@@ -5,12 +5,16 @@
 //! and prints measured |S|/n next to the analytic prediction, for both the
 //! sequential reference and the distributed protocol.
 
-use spanner_bench::{f2, scaled, timed, workload, Table, TraceOutput};
+use spanner_bench::{f2, fault_plan_arg, scale3, timed, workload, Table, TraceOutput};
 use ultrasparse::skeleton::{build_sequential, distributed, SkeletonParams};
 
 fn main() {
     let traces = TraceOutput::from_args();
-    let n = scaled(30_000, 3_000);
+    let faults = fault_plan_arg();
+    if let Some(plan) = &faults {
+        println!("fault injection active: {plan:?}\n");
+    }
+    let n = scale3(30_000, 3_000, 400);
     println!("E2 (Lemma 6): skeleton size vs D, n = {n}.\n");
     println!(
         "Per-D workload with average degree ~ D: the Dn/e term of Lemma 6 comes\n\
@@ -35,10 +39,26 @@ fn main() {
         let params = SkeletonParams::new(d, 1.0).expect("valid params");
         let predicted = params.expected_size(g.node_count()) / g.node_count() as f64;
         let (seq, secs) = timed(|| build_sequential(&g, &params, 11));
-        let mut tr = traces.open(&format!("d{:02}", d as u32));
-        let dist = distributed::build_distributed_traced(&g, &params, 11, tr.sink())
-            .expect("distributed run");
-        tr.finish();
+        let dist = if let Some(plan) = &faults {
+            match distributed::build_distributed_faulted(&g, &params, 11, plan) {
+                Ok(s) => {
+                    if let Some(m) = &s.metrics {
+                        println!("D = {d}: certified under faults ({})", m.faults);
+                    }
+                    s
+                }
+                Err(e) => {
+                    println!("D = {d}: no certified spanner under this schedule: {e}");
+                    continue;
+                }
+            }
+        } else {
+            let mut tr = traces.open(&format!("d{:02}", d as u32));
+            let dist = distributed::build_distributed_traced(&g, &params, 11, tr.sink())
+                .expect("distributed run");
+            tr.finish();
+            dist
+        };
         assert!(seq.is_spanning(&g) && dist.is_spanning(&g));
         table.row([
             f2(d),

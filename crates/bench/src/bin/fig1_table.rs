@@ -14,17 +14,21 @@
 //!   Fibonacci spanner (Theorem 8), both distributed.
 
 use spanner_baselines::{additive2, baswana_sen, bfs_skeleton, greedy};
-use spanner_bench::{f2, scaled, timed, workload, Table, TraceOutput};
+use spanner_bench::{f2, fault_plan_arg, scale3, timed, workload, Table, TraceOutput};
 use ultrasparse::fibonacci::{self, FibonacciParams};
 use ultrasparse::skeleton::{self, SkeletonParams};
 
 fn main() {
-    let n = scaled(20_000, 2_000);
+    let n = scale3(20_000, 2_000, 300);
     let density = 8.0;
     let seed = 42;
     let g = workload(n, density, seed);
-    let pairs = scaled(4_000, 500);
+    let pairs = scale3(4_000, 500, 120);
     let traces = TraceOutput::from_args();
+    let faults = fault_plan_arg();
+    if let Some(plan) = &faults {
+        println!("fault injection active: {plan:?}\n");
+    }
     println!(
         "Fig. 1 reproduction: workload connected G(n, m), n = {}, m = {}\n",
         g.node_count(),
@@ -86,19 +90,53 @@ fn main() {
         &mut table,
     );
 
+    // Prints the run's fault counters, or the typed error of a run that the
+    // schedule killed; `None` means no row for this algorithm.
+    let faulted_outcome = |name: &str,
+                           outcome: Result<ultrasparse::Spanner, ultrasparse::FaultError>|
+     -> Option<ultrasparse::Spanner> {
+        match outcome {
+            Ok(s) => {
+                if let Some(m) = &s.metrics {
+                    println!("  {name} faults: {}", m.faults);
+                }
+                Some(s)
+            }
+            Err(e) => {
+                println!("  {name}: no certified spanner under this schedule: {e}");
+                None
+            }
+        }
+    };
+
     let bs2 = baswana_sen::BaswanaSenParams::new(2).unwrap();
-    let mut tr = traces.open("bs-k2");
-    let (s, secs) =
-        timed(|| baswana_sen::build_distributed_traced(&g, &bs2, seed, tr.sink()).unwrap());
-    tr.finish();
-    add_row(
-        "Baswana-Sen k=2 [10]",
-        "3-spanner, O(n^1.5)",
-        "2 words",
-        &s,
-        secs,
-        &mut table,
-    );
+    if let Some(plan) = &faults {
+        let (outcome, secs) =
+            timed(|| baswana_sen::build_distributed_faulted(&g, &bs2, seed, plan));
+        if let Some(s) = faulted_outcome("Baswana-Sen k=2", outcome) {
+            add_row(
+                "Baswana-Sen k=2 [10]",
+                "3-spanner, O(n^1.5)",
+                "2 words",
+                &s,
+                secs,
+                &mut table,
+            );
+        }
+    } else {
+        let mut tr = traces.open("bs-k2");
+        let (s, secs) =
+            timed(|| baswana_sen::build_distributed_traced(&g, &bs2, seed, tr.sink()).unwrap());
+        tr.finish();
+        add_row(
+            "Baswana-Sen k=2 [10]",
+            "3-spanner, O(n^1.5)",
+            "2 words",
+            &s,
+            secs,
+            &mut table,
+        );
+    }
 
     let bsl = baswana_sen::BaswanaSenParams::new(klog).unwrap();
     let mut tr = traces.open("bs-klog");
@@ -135,35 +173,69 @@ fn main() {
     );
 
     let sk = SkeletonParams::default();
-    let mut tr = traces.open("skeleton");
-    let (s, secs) = timed(|| {
-        skeleton::distributed::build_distributed_traced(&g, &sk, seed, tr.sink()).unwrap()
-    });
-    tr.finish();
-    add_row(
-        "THIS PAPER: skeleton (Thm 2)",
-        "O(2^log* n log n)-spanner, Dn/e+O(n log D)",
-        "O(log^eps n) words",
-        &s,
-        secs,
-        &mut table,
-    );
+    let sk_label = "THIS PAPER: skeleton (Thm 2)";
+    let sk_guarantee = "O(2^log* n log n)-spanner, Dn/e+O(n log D)";
+    if let Some(plan) = &faults {
+        let (outcome, secs) =
+            timed(|| skeleton::distributed::build_distributed_faulted(&g, &sk, seed, plan));
+        if let Some(s) = faulted_outcome("skeleton", outcome) {
+            add_row(
+                sk_label,
+                sk_guarantee,
+                "O(log^eps n) words",
+                &s,
+                secs,
+                &mut table,
+            );
+        }
+    } else {
+        let mut tr = traces.open("skeleton");
+        let (s, secs) = timed(|| {
+            skeleton::distributed::build_distributed_traced(&g, &sk, seed, tr.sink()).unwrap()
+        });
+        tr.finish();
+        add_row(
+            sk_label,
+            sk_guarantee,
+            "O(log^eps n) words",
+            &s,
+            secs,
+            &mut table,
+        );
+    }
 
     let order = FibonacciParams::max_order(n).min(3);
     let fp = FibonacciParams::new(n, order, 0.5, 4).unwrap();
-    let mut tr = traces.open("fibonacci");
-    let (s, secs) = timed(|| {
-        fibonacci::distributed::build_distributed_traced(&g, &fp, seed, tr.sink()).unwrap()
-    });
-    tr.finish();
-    add_row(
-        "THIS PAPER: Fibonacci (Thm 8)",
-        "staged (alpha,beta), ~n(eps^-1 loglog n)^phi",
-        "O(n^{1/t}) words, t=4",
-        &s,
-        secs,
-        &mut table,
-    );
+    let fib_label = "THIS PAPER: Fibonacci (Thm 8)";
+    let fib_guarantee = "staged (alpha,beta), ~n(eps^-1 loglog n)^phi";
+    if let Some(plan) = &faults {
+        let (outcome, secs) =
+            timed(|| fibonacci::distributed::build_distributed_faulted(&g, &fp, seed, plan));
+        if let Some(s) = faulted_outcome("Fibonacci", outcome) {
+            add_row(
+                fib_label,
+                fib_guarantee,
+                "O(n^{1/t}) words, t=4",
+                &s,
+                secs,
+                &mut table,
+            );
+        }
+    } else {
+        let mut tr = traces.open("fibonacci");
+        let (s, secs) = timed(|| {
+            fibonacci::distributed::build_distributed_traced(&g, &fp, seed, tr.sink()).unwrap()
+        });
+        tr.finish();
+        add_row(
+            fib_label,
+            fib_guarantee,
+            "O(n^{1/t}) words, t=4",
+            &s,
+            secs,
+            &mut table,
+        );
+    }
 
     table.print();
     println!(

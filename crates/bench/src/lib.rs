@@ -18,11 +18,50 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use spanner_graph::Graph;
-use spanner_netsim::{JsonLinesSink, NullSink, TraceSink};
+use spanner_netsim::{FaultPlan, JsonLinesSink, NullSink, TraceSink};
 
 /// Whether the process was invoked with `--quick` (smaller instances).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Whether the process was invoked with `--tiny` (pinned, seconds-scale
+/// instances — the configuration the golden-file regression tests run at).
+pub fn tiny_mode() -> bool {
+    std::env::args().any(|a| a == "--tiny")
+}
+
+/// Picks full / `--quick` / `--tiny` values; `--tiny` wins over `--quick`.
+pub fn scale3<T: Copy>(full: T, quick: T, tiny: T) -> T {
+    if tiny_mode() {
+        tiny
+    } else if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// The `--faults <spec>` argument parsed into a [`FaultPlan`]. Accepts both
+/// `--faults drop=0.05,seed=7` and `--faults=drop=0.05,seed=7`; the spec
+/// grammar is [`FaultPlan::parse_spec`]'s (see EXPERIMENTS.md).
+///
+/// # Panics
+///
+/// Panics with the parser's message on a malformed spec — experiments fail
+/// loudly rather than run a different schedule than the one asked for.
+pub fn fault_plan_arg() -> Option<FaultPlan> {
+    let mut args = std::env::args();
+    let spec = loop {
+        let a = args.next()?;
+        if a == "--faults" {
+            break args.next().expect("--faults needs a spec argument");
+        }
+        if let Some(spec) = a.strip_prefix("--faults=") {
+            break spec.to_owned();
+        }
+    };
+    Some(FaultPlan::parse_spec(&spec).unwrap_or_else(|e| panic!("bad --faults spec: {e}")))
 }
 
 /// The `--trace-out <path>` argument, if present. Accepts both

@@ -1,0 +1,157 @@
+//! Golden-file regression tests for the experiment binaries.
+//!
+//! `fig1_table` and `exp_skeleton_size` run at the pinned `--tiny`
+//! configuration; their stdout — with the wall-clock `secs` column
+//! normalized to `#.##` — must match the snapshots under
+//! `results/golden/`. Every number in those tables is seeded and
+//! deterministic, so any drift is a real behavior change.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p spanner-bench --test golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs an experiment binary and returns its stdout.
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot run {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("experiment output is UTF-8")
+}
+
+/// Blanks the wall-clock `secs` column of every markdown table in `text`,
+/// preserving alignment (the replacement is padded to the original cell
+/// width). All other cells are seeded and deterministic.
+fn normalize_secs(text: &str) -> String {
+    // `secs` is always the trailing column, so operate on the last cell;
+    // column-index bookkeeping would trip over header cells like `|S|/n`
+    // that contain their own `|`.
+    let mut in_secs_table = false;
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let body = line.trim_end();
+        if !body.starts_with('|') {
+            in_secs_table = false;
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let last_cell = body
+            .rfind('|')
+            .and_then(|end| body[..end].rfind('|').map(|start| (start + 1, end)));
+        match last_cell {
+            Some((start, end)) => {
+                let cell = &body[start..end];
+                if cell.trim() == "secs" {
+                    in_secs_table = true;
+                    out.push_str(line);
+                } else if in_secs_table && !cell.trim_start().starts_with('-') {
+                    out.push_str(&body[..start]);
+                    out.push_str(&format!(
+                        " {:<width$}",
+                        "#.##",
+                        width = cell.len().saturating_sub(1)
+                    ));
+                    out.push('|');
+                } else {
+                    out.push_str(line);
+                }
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn normalizer_blanks_only_the_secs_column() {
+    let table = "| |S|/n | secs |\n|-------|------|\n| 7.66  | 0.03 |\nprose 0.03\n";
+    let norm = normalize_secs(table);
+    assert!(norm.contains("| 7.66  | #.## |"), "{norm}");
+    assert!(norm.contains("prose 0.03"), "{norm}");
+    assert!(norm.contains("|-------|------|"), "{norm}");
+}
+
+/// Compares normalized output against `results/golden/<name>`, rewriting
+/// the snapshot instead when `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "..",
+        "..",
+        "results",
+        "golden",
+        name,
+    ]
+    .iter()
+    .collect();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create results/golden");
+        std::fs::write(&path, actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is intended, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn fig1_table_tiny_matches_golden() {
+    let out = run(env!("CARGO_BIN_EXE_fig1_table"), &["--tiny"]);
+    assert_matches_golden("fig1_table.tiny.txt", &normalize_secs(&out));
+}
+
+#[test]
+fn exp_skeleton_size_tiny_matches_golden() {
+    let out = run(env!("CARGO_BIN_EXE_exp_skeleton_size"), &["--tiny"]);
+    assert_matches_golden("exp_skeleton_size.tiny.txt", &normalize_secs(&out));
+}
+
+#[test]
+fn faults_flag_runs_and_reports_counters() {
+    let out = run(
+        env!("CARGO_BIN_EXE_fig1_table"),
+        &["--tiny", "--faults", "drop=0.05,seed=9"],
+    );
+    assert!(out.contains("fault injection active"), "{out}");
+    assert!(out.contains("dropped="), "fault counters missing:\n{out}");
+}
+
+#[test]
+fn faults_flag_accepts_crash_schedules() {
+    let out = run(
+        env!("CARGO_BIN_EXE_exp_skeleton_size"),
+        &["--tiny", "--faults", "seed=3,drop=0.01,crash=0@2"],
+    );
+    assert!(out.contains("fault injection active"), "{out}");
+}
+
+#[test]
+fn bad_faults_spec_fails_loudly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig1_table"))
+        .args(["--tiny", "--faults", "drop=nonsense"])
+        .output()
+        .expect("spawn fig1_table");
+    assert!(!out.status.success(), "malformed spec must not run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --faults spec"), "{stderr}");
+}

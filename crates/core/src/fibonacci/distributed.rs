@@ -40,10 +40,11 @@ use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
 use spanner_netsim::{
-    Ctx, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol, RunError,
-    TraceSink,
+    Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol,
+    RunError, TraceSink,
 };
 
+use crate::faults::FaultError;
 use crate::fibonacci::params::FibonacciParams;
 use crate::fibonacci::sequential::sample_levels;
 use crate::spanner::Spanner;
@@ -635,6 +636,56 @@ pub fn build_distributed_parallel_traced(
         sink,
     )?;
     Ok(collect_spanner(g, &states, net.metrics()))
+}
+
+/// Runs the distributed Fibonacci construction under a fault schedule.
+///
+/// Never panics and never returns an unchecked spanner: the output is
+/// re-certified against the fault-free host graph (spanning + the
+/// Theorem 7 distortion envelope checked exactly), and every failure comes
+/// back as a typed [`FaultError`] retaining the partial
+/// [`RunMetrics`](spanner_netsim::RunMetrics) with fault counters.
+///
+/// # Errors
+///
+/// [`FaultError::Run`] when the simulated
+/// run fails, [`FaultError::Uncertified`]
+/// when the surviving output is not a certified Fibonacci spanner.
+pub fn build_distributed_faulted(
+    g: &Graph,
+    params: &FibonacciParams,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<Spanner, FaultError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let levels = sample_levels(g, params, seed);
+    let budget = theorem8_budget(n, params.t);
+    let cfg = Arc::new(FibConfig::build(params, n, budget, diameter_cap(g)));
+    let max_rounds = cfg.total_rounds + 8;
+    let net = std::cell::RefCell::new(Network::new(g, budget, seed).with_faults(plan.clone()));
+    let (order, ell) = (params.order, params.ell);
+    crate::faults::build_certified(
+        g,
+        || {
+            let mut net = net.borrow_mut();
+            let states = net.run(
+                |v, _| FibNode::new(Arc::clone(&cfg), levels[v.index()]),
+                max_rounds,
+            )?;
+            let metrics = net.metrics();
+            Ok(collect_spanner(g, &states, metrics))
+        },
+        || net.borrow().metrics(),
+        |s| match s.check_envelope_exact(g, |d| {
+            crate::fibonacci::analysis::distortion_envelope(order, ell, d as u64)
+        }) {
+            None => Ok(()),
+            Some(viol) => Err(format!("distortion envelope violated: {viol:?}")),
+        },
+    )
 }
 
 /// Gathers per-node edge selections into a [`Spanner`] with metrics.

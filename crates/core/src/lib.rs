@@ -42,9 +42,11 @@
 
 pub mod cluster;
 pub mod expand;
+pub mod faults;
 pub mod fibonacci;
 pub mod seq;
 pub mod skeleton;
 pub mod spanner;
 
+pub use faults::FaultError;
 pub use spanner::{Spanner, StretchReport};

@@ -46,11 +46,12 @@ use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
 use spanner_netsim::{
-    Ctx, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol, RunError,
-    TraceSink,
+    Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol,
+    RunError, TraceSink,
 };
 
 use crate::expand::ClusterSampler;
+use crate::faults::FaultError;
 use crate::seq::Schedule;
 use crate::skeleton::SkeletonParams;
 use crate::spanner::Spanner;
@@ -670,6 +671,61 @@ pub fn build_distributed_parallel_traced(
     let max_rounds = cfg.total_rounds + 8;
     let states = net.run_traced(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds, sink)?;
     Ok(collect_spanner(g, &states, net.metrics()))
+}
+
+/// Runs the distributed skeleton protocol under a fault schedule.
+///
+/// Unlike [`build_distributed`], this never panics and never returns an
+/// unchecked spanner: the output is re-certified against the fault-free
+/// host graph (spanning + the schedule's certified distortion bound via
+/// [`verify_stretch_exact`](spanner_graph::verify_stretch_exact)), and any
+/// failure — simulator error, hostile-schedule panic, or certification
+/// miss — comes back as a typed [`FaultError`] retaining the partial
+/// [`RunMetrics`](spanner_netsim::RunMetrics) with fault counters.
+///
+/// # Errors
+///
+/// [`FaultError::Run`] when the simulated
+/// run fails, [`FaultError::Uncertified`]
+/// when the surviving output is not a certified skeleton.
+pub fn build_distributed_faulted(
+    g: &Graph,
+    params: &SkeletonParams,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<Spanner, FaultError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let schedule = params.schedule(n);
+    let budget = theorem2_budget(n, params.eps);
+    let words = budget.limit().expect("theorem2 budget is bounded");
+    let cfg = Arc::new(SkelConfig::build(&schedule, n, seed, words));
+    let max_rounds = cfg.total_rounds + 8;
+    // RefCell: the build closure and the metrics-recovery closure both
+    // need the network; the latter only runs after the former finished
+    // (or unwound, which releases the borrow).
+    let net = std::cell::RefCell::new(Network::new(g, budget, seed).with_faults(plan.clone()));
+    let bound = schedule.distortion_bound as f64;
+    crate::faults::build_certified(
+        g,
+        || {
+            let mut net = net.borrow_mut();
+            let states = net.run(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds)?;
+            let metrics = net.metrics();
+            Ok(collect_spanner(g, &states, metrics))
+        },
+        || net.borrow().metrics(),
+        |s| {
+            spanner_graph::verify_stretch_exact(
+                g,
+                &s.edges,
+                spanner_graph::StretchBound::multiplicative(bound),
+            )
+            .map_err(|v| v.to_string())
+        },
+    )
 }
 
 /// Gathers per-node edge selections into a [`Spanner`] with metrics.

@@ -9,8 +9,10 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::edgeset::EdgeSet;
 use crate::graph::{Graph, NodeId};
-use crate::traversal::bfs_distances;
+use crate::traversal::{bfs_distances, bfs_distances_in_subgraph};
+use crate::weighted::{dijkstra, dijkstra_in_subgraph, WeightedGraph, W_UNREACHABLE};
 
 /// All-pairs shortest path distances, `u32::MAX` for unreachable pairs.
 ///
@@ -68,6 +70,146 @@ impl Apsp {
         }
         best
     }
+}
+
+/// A stretch guarantee of the form `d_S(u, v) ≤ α · d_G(u, v) + β`.
+///
+/// Multiplicative-only and additive-only guarantees are the two special
+/// cases (β = 0 resp. α = 1); mixed (α, β)-spanners use both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchBound {
+    /// Multiplicative factor α (≥ 1).
+    pub alpha: f64,
+    /// Additive surplus β (in hops, or weight for weighted graphs).
+    pub beta: u64,
+}
+
+impl StretchBound {
+    /// A purely multiplicative bound `d_S ≤ t · d_G`.
+    pub fn multiplicative(t: f64) -> Self {
+        assert!(t >= 1.0, "stretch factor below 1");
+        StretchBound { alpha: t, beta: 0 }
+    }
+
+    /// A purely additive bound `d_S ≤ d_G + b`.
+    pub fn additive(b: u64) -> Self {
+        StretchBound {
+            alpha: 1.0,
+            beta: b,
+        }
+    }
+
+    /// A mixed bound `d_S ≤ α · d_G + β`.
+    pub fn mixed(alpha: f64, beta: u64) -> Self {
+        assert!(alpha >= 1.0, "stretch factor below 1");
+        StretchBound { alpha, beta }
+    }
+
+    /// The largest spanner distance the bound allows for base distance `d`.
+    fn allows(&self, d: u64, in_spanner: u64) -> bool {
+        // Floating-point slack only hurts when α is fractional; exact
+        // integer comparison otherwise.
+        in_spanner as f64 <= self.alpha * d as f64 + self.beta as f64 + 1e-9
+    }
+}
+
+/// The witness returned when a spanner violates its claimed stretch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchViolation {
+    /// First endpoint of the offending pair.
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Exact distance in the host graph.
+    pub base: u64,
+    /// Exact distance inside the spanner; `None` if the spanner
+    /// disconnects the pair.
+    pub in_spanner: Option<u64>,
+}
+
+impl std::fmt::Display for StretchViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.in_spanner {
+            Some(s) => write!(
+                f,
+                "stretch violated for ({}, {}): {} in spanner vs {} in graph",
+                self.u, self.v, s, self.base
+            ),
+            None => write!(
+                f,
+                "spanner disconnects ({}, {}) at graph distance {}",
+                self.u, self.v, self.base
+            ),
+        }
+    }
+}
+
+/// Verifies the exact stretch guarantee of `spanner` against every
+/// connected pair of `g`: `d_S(u, v) ≤ α · d_G(u, v) + β`.
+///
+/// Runs one BFS per node in each graph — O(n(n+m)) — the shared
+/// replacement for the per-test ad-hoc distance loops in the integration
+/// suites. Returns the first violating pair (lowest `u`, then `v`) as a
+/// witness, `Ok(())` if the guarantee holds everywhere. Pairs disconnected
+/// in `g` impose no requirement; pairs connected in `g` but not in the
+/// spanner are violations.
+pub fn verify_stretch_exact(
+    g: &Graph,
+    spanner: &EdgeSet,
+    bound: StretchBound,
+) -> Result<(), StretchViolation> {
+    let adj = spanner.adjacency(g);
+    for u in g.nodes() {
+        let dg = bfs_distances(g, u);
+        let ds = bfs_distances_in_subgraph(&adj, u, u32::MAX);
+        for v in (u.index() + 1)..g.node_count() {
+            let Some(base) = dg[v] else { continue };
+            let witness = |in_spanner| StretchViolation {
+                u,
+                v: NodeId(v as u32),
+                base: base as u64,
+                in_spanner,
+            };
+            match ds[v] {
+                Some(s) if bound.allows(base as u64, s as u64) => {}
+                Some(s) => return Err(witness(Some(s as u64))),
+                None => return Err(witness(None)),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Weighted counterpart of [`verify_stretch_exact`]: one Dijkstra per node
+/// in the host graph and in the spanner subgraph, distances in total edge
+/// weight.
+pub fn verify_stretch_exact_weighted(
+    g: &WeightedGraph,
+    spanner: &EdgeSet,
+    bound: StretchBound,
+) -> Result<(), StretchViolation> {
+    for u in g.graph().nodes() {
+        let dg = dijkstra(g, u);
+        let ds = dijkstra_in_subgraph(g, spanner, u);
+        for v in (u.index() + 1)..g.node_count() {
+            let base = dg[v];
+            if base == W_UNREACHABLE {
+                continue;
+            }
+            let witness = |in_spanner| StretchViolation {
+                u,
+                v: NodeId(v as u32),
+                base,
+                in_spanner,
+            };
+            match ds[v] {
+                W_UNREACHABLE => return Err(witness(None)),
+                s if bound.allows(base, s) => {}
+                s => return Err(witness(Some(s))),
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Eccentricity of `v`: max distance from `v` to any reachable node.
@@ -244,5 +386,67 @@ mod tests {
     fn sample_pairs_tiny_graph() {
         assert!(sample_pairs(&Graph::empty(1), 10, 1).is_empty());
         assert!(sample_pairs(&Graph::empty(0), 10, 1).is_empty());
+    }
+
+    #[test]
+    fn verify_stretch_accepts_full_graph_and_spanning_subsets() {
+        let g = cycle(9);
+        assert!(
+            verify_stretch_exact(&g, &EdgeSet::full(&g), StretchBound::multiplicative(1.0)).is_ok()
+        );
+        // Removing one cycle edge forces the long way around: stretch n-1.
+        let mut span = EdgeSet::full(&g);
+        span.remove(g.find_edge(NodeId(0), NodeId(1)).unwrap());
+        assert!(verify_stretch_exact(&g, &span, StretchBound::multiplicative(8.0)).is_ok());
+        let err = verify_stretch_exact(&g, &span, StretchBound::multiplicative(7.0)).unwrap_err();
+        assert_eq!((err.u, err.v), (NodeId(0), NodeId(1)));
+        assert_eq!((err.base, err.in_spanner), (1, Some(8)));
+        // The same gap expressed additively.
+        assert!(verify_stretch_exact(&g, &span, StretchBound::additive(7)).is_ok());
+        assert!(verify_stretch_exact(&g, &span, StretchBound::additive(6)).is_err());
+    }
+
+    #[test]
+    fn verify_stretch_flags_disconnection() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut span = EdgeSet::new(&g);
+        span.insert(g.find_edge(NodeId(0), NodeId(1)).unwrap());
+        let err = verify_stretch_exact(&g, &span, StretchBound::multiplicative(100.0)).unwrap_err();
+        assert_eq!(err.in_spanner, None);
+        assert!(err.to_string().contains("disconnects"));
+    }
+
+    #[test]
+    fn verify_stretch_ignores_pairs_disconnected_in_host() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(
+            verify_stretch_exact(&g, &EdgeSet::full(&g), StretchBound::multiplicative(1.0)).is_ok()
+        );
+    }
+
+    #[test]
+    fn verify_stretch_weighted_uses_weights() {
+        // Triangle with a heavy shortcut: dropping the light edge (0,1)
+        // leaves the 0→2→1 route of weight 7 against a base of 1.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let w: Vec<u32> = g
+            .edges()
+            .map(|(_, a, b)| {
+                if (a, b) == (NodeId(0), NodeId(1)) || (a, b) == (NodeId(1), NodeId(0)) {
+                    1
+                } else {
+                    4
+                }
+            })
+            .collect();
+        let wg = WeightedGraph::new(g, w);
+        let mut span = EdgeSet::full(wg.graph());
+        span.remove(wg.graph().find_edge(NodeId(0), NodeId(1)).unwrap());
+        assert!(
+            verify_stretch_exact_weighted(&wg, &span, StretchBound::multiplicative(8.0)).is_ok()
+        );
+        let err = verify_stretch_exact_weighted(&wg, &span, StretchBound::multiplicative(7.0))
+            .unwrap_err();
+        assert_eq!((err.base, err.in_spanner), (1, Some(8)));
     }
 }

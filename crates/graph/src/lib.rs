@@ -37,5 +37,8 @@ pub mod metrics;
 pub mod traversal;
 pub mod weighted;
 
+pub use distance::{
+    verify_stretch_exact, verify_stretch_exact_weighted, StretchBound, StretchViolation,
+};
 pub use edgeset::EdgeSet;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};

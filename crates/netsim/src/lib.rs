@@ -46,6 +46,7 @@
 
 pub mod budget;
 pub mod csr;
+pub mod faults;
 pub mod metrics;
 pub mod parallel;
 pub mod patterns;
@@ -55,6 +56,7 @@ pub mod trace;
 
 pub use budget::{BudgetViolation, MessageBudget};
 pub use csr::CsrAdjacency;
+pub use faults::{FaultCounters, FaultPlan, MsgFate};
 pub use metrics::RunMetrics;
 pub use parallel::{run_parallel, ParallelNetwork, ParallelOutcome};
 pub use sync::{Ctx, MessageSize, Network, Protocol, RunError};

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use crate::faults::FaultCounters;
+
 /// Aggregate cost of a simulated run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunMetrics {
@@ -18,6 +20,8 @@ pub struct RunMetrics {
     pub words: u64,
     /// Maximum single-message length observed, in words.
     pub max_message_words: usize,
+    /// Per-category counts of injected faults; all-zero on unfaulted runs.
+    pub faults: FaultCounters,
 }
 
 impl RunMetrics {
@@ -28,6 +32,7 @@ impl RunMetrics {
         self.messages += other.messages;
         self.words += other.words;
         self.max_message_words = self.max_message_words.max(other.max_message_words);
+        self.faults.absorb(&other.faults);
     }
 
     /// Average words per message (0 if no messages).
@@ -50,6 +55,7 @@ impl RunMetrics {
             && self.messages == summary.total_messages()
             && self.words == summary.total_words()
             && self.messages == summary.size_histogram().iter().sum::<u64>()
+            && self.faults == summary.fault_counters().copied().unwrap_or_default()
     }
 }
 
@@ -59,7 +65,11 @@ impl fmt::Display for RunMetrics {
             f,
             "rounds={} messages={} words={} max_msg_words={}",
             self.rounds, self.messages, self.words, self.max_message_words
-        )
+        )?;
+        if !self.faults.is_empty() {
+            write!(f, " {}", self.faults)?;
+        }
+        Ok(())
     }
 }
 
@@ -74,12 +84,14 @@ mod tests {
             messages: 100,
             words: 300,
             max_message_words: 3,
+            faults: FaultCounters::default(),
         };
         let b = RunMetrics {
             rounds: 5,
             messages: 50,
             words: 500,
             max_message_words: 10,
+            faults: FaultCounters::default(),
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 15);
@@ -95,6 +107,7 @@ mod tests {
             messages: 4,
             words: 10,
             max_message_words: 4,
+            faults: FaultCounters::default(),
         };
         assert!((m.avg_message_words() - 2.5).abs() < 1e-12);
         assert_eq!(RunMetrics::default().avg_message_words(), 0.0);
@@ -107,6 +120,7 @@ mod tests {
             messages: 3,
             words: 4,
             max_message_words: 5,
+            faults: FaultCounters::default(),
         };
         let s = m.to_string();
         for needle in ["rounds=2", "messages=3", "words=4", "max_msg_words=5"] {

@@ -33,6 +33,7 @@ use spanner_graph::{Graph, NodeId};
 
 use crate::budget::{BudgetViolation, MessageBudget};
 use crate::csr::CsrAdjacency;
+use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::RunMetrics;
 use crate::rng::node_rng;
 use crate::sync::{Ctx, MessageSize, Protocol, RunError};
@@ -80,6 +81,8 @@ pub struct ParallelNetwork<'g> {
     threads: usize,
     metrics: RunMetrics,
     adjacency: CsrAdjacency,
+    /// Fault schedule, if any; `None` selects the pre-fault code path.
+    faults: Option<FaultPlan>,
 }
 
 impl<'g> ParallelNetwork<'g> {
@@ -125,7 +128,22 @@ impl<'g> ParallelNetwork<'g> {
             threads,
             metrics: RunMetrics::default(),
             adjacency,
+            faults: None,
         }
+    }
+
+    /// Injects faults from `plan` on subsequent runs, exactly as
+    /// [`Network::with_faults`](crate::Network::with_faults) does: the
+    /// resulting states, metrics, and trace stream are byte-identical to
+    /// the sequential executor's at any thread count.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault schedule in force, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The underlying graph.
@@ -201,19 +219,22 @@ impl<'g> ParallelNetwork<'g> {
         F: FnMut(NodeId, &mut SmallRng) -> P,
     {
         let mut tracer = Tracer::new(sink);
-        // Monomorphized on the tracing decision like the sequential
-        // executor: the untraced routing loop carries no per-message
-        // tracer branches.
-        let result = if tracer.enabled() {
-            self.run_inner::<P, F, true>(factory, max_rounds, &mut tracer)
-        } else {
-            self.run_inner::<P, F, false>(factory, max_rounds, &mut tracer)
+        // Monomorphized on the tracing and fault decisions like the
+        // sequential executor: the untraced unfaulted routing loop carries
+        // no per-message tracer or fault branches.
+        let result = match (tracer.enabled(), self.faults.is_some()) {
+            (false, false) => {
+                self.run_inner::<P, F, false, false>(factory, max_rounds, &mut tracer)
+            }
+            (true, false) => self.run_inner::<P, F, true, false>(factory, max_rounds, &mut tracer),
+            (false, true) => self.run_inner::<P, F, false, true>(factory, max_rounds, &mut tracer),
+            (true, true) => self.run_inner::<P, F, true, true>(factory, max_rounds, &mut tracer),
         };
         tracer.finish(&self.metrics, result.as_ref().err());
         result
     }
 
-    fn run_inner<P, F, const TRACED: bool>(
+    fn run_inner<P, F, const TRACED: bool, const FAULTS: bool>(
         &mut self,
         mut factory: F,
         max_rounds: u32,
@@ -226,6 +247,13 @@ impl<'g> ParallelNetwork<'g> {
     {
         self.metrics = RunMetrics::default();
         let n = self.graph.node_count();
+        // The workers consult the plan for their skip decisions (pure
+        // functions, so no coordination is needed); the coordinator owns
+        // the fault engine and applies message fates during routing — the
+        // same global sender order the sequential flush uses.
+        let plan: FaultPlan = self.faults.clone().unwrap_or_default();
+        let mut fstate: FaultState<P::Msg> =
+            FaultState::new(plan.clone(), if FAULTS { n } else { 0 });
         if n == 0 {
             // Match the sequential stream: the (empty) init round is traced.
             if TRACED {
@@ -269,6 +297,7 @@ impl<'g> ParallelNetwork<'g> {
         let adjacency = &self.adjacency;
         let budget = self.budget;
         let metrics = &mut self.metrics;
+        let plan = &plan;
 
         let result: Result<(), RunError> = std::thread::scope(|scope| {
             for (ci, slot) in slots.iter().enumerate() {
@@ -293,6 +322,17 @@ impl<'g> ParallelNetwork<'g> {
                     } = &mut *guard;
                     for i in 0..nodes.len() {
                         let v = NodeId((base + i) as u32);
+                        // Crashed or stuttering nodes execute nothing this
+                        // round; their (stale) buffers are cleared so the
+                        // coordinator routes nothing on their behalf. The
+                        // skip decision is a pure function of (plan, v,
+                        // round), identical on every executor and thread.
+                        if FAULTS && plan.skips(v, round) {
+                            outboxes[i].clear();
+                            inboxes[i].clear();
+                            phases[i].clear();
+                            continue;
+                        }
                         // Sorted for free: the coordinator routes messages
                         // in global ascending sender order (chunk by chunk,
                         // node by node), so each inbox is already sorted.
@@ -318,7 +358,9 @@ impl<'g> ParallelNetwork<'g> {
                         }
                         inboxes[i].clear();
                     }
-                    *done = nodes.iter().all(|p| p.done());
+                    *done = nodes.iter().enumerate().all(|(i, p)| {
+                        p.done() || (FAULTS && plan.crashed(NodeId((base + i) as u32), round))
+                    });
                     drop(guard);
                     finish.wait();
                 });
@@ -340,6 +382,7 @@ impl<'g> ParallelNetwork<'g> {
             let mut scratch: Vec<(NodeId, P::Msg)> = Vec::new();
             let mut deliver = |round: u32,
                                metrics: &mut RunMetrics,
+                               fstate: &mut FaultState<P::Msg>,
                                tracer: &mut Tracer<'_>|
              -> Result<(u64, bool), BudgetViolation> {
                 let mut guards: Vec<MutexGuard<'_, ChunkSlot<P>>> = slots
@@ -379,12 +422,27 @@ impl<'g> ParallelNetwork<'g> {
                             if TRACED {
                                 tracer.on_message(words);
                             }
-                            let tc = to.index() / chunk;
-                            let ti = to.index() - tc * chunk;
-                            guards[tc].inboxes[ti].push((sender, msg));
-                            in_flight += 1;
+                            if FAULTS {
+                                fstate.accept(round, sender, to, msg);
+                            } else {
+                                let tc = to.index() / chunk;
+                                let ti = to.index() - tc * chunk;
+                                guards[tc].inboxes[ti].push((sender, msg));
+                                in_flight += 1;
+                            }
                         }
                     }
+                }
+                if FAULTS {
+                    // Materialize next round's inboxes through the fault
+                    // engine; messages still pending (delayed or held for a
+                    // stutterer) stay in flight.
+                    let sunk = fstate.flush_due(round + 1, |to, s, m| {
+                        let tc = to.index() / chunk;
+                        let ti = to.index() - tc * chunk;
+                        guards[tc].inboxes[ti].push((s, m));
+                    });
+                    in_flight = sunk + fstate.in_flight();
                 }
                 let all_done = guards.iter().all(|g| g.done);
                 Ok((in_flight, all_done))
@@ -394,15 +452,22 @@ impl<'g> ParallelNetwork<'g> {
             if TRACED {
                 tracer.begin_round(0);
             }
+            if FAULTS {
+                fstate.begin_round(0);
+            }
             start.wait();
             finish.wait();
-            let (mut in_flight, mut all_done) = match deliver(0, metrics, tracer) {
+            let (mut in_flight, mut all_done) = match deliver(0, metrics, &mut fstate, tracer) {
                 Ok(v) => v,
                 Err(v) => {
+                    metrics.faults = fstate.counters();
                     shutdown();
                     return Err(RunError::Budget(v));
                 }
             };
+            if FAULTS {
+                metrics.faults = fstate.counters();
+            }
             if TRACED {
                 tracer.end_round();
             }
@@ -422,16 +487,23 @@ impl<'g> ParallelNetwork<'g> {
                 if TRACED {
                     tracer.begin_round(round);
                 }
+                if FAULTS {
+                    fstate.begin_round(round);
+                }
                 round_no.store(round, Ordering::Release);
                 start.wait();
                 finish.wait();
-                (in_flight, all_done) = match deliver(round, metrics, tracer) {
+                (in_flight, all_done) = match deliver(round, metrics, &mut fstate, tracer) {
                     Ok(v) => v,
                     Err(v) => {
+                        metrics.faults = fstate.counters();
                         shutdown();
                         return Err(RunError::Budget(v));
                     }
                 };
+                if FAULTS {
+                    metrics.faults = fstate.counters();
+                }
                 if TRACED {
                     tracer.end_round();
                 }

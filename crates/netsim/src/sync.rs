@@ -26,6 +26,7 @@ use spanner_graph::{Graph, NodeId};
 
 use crate::budget::{BudgetViolation, MessageBudget};
 use crate::csr::CsrAdjacency;
+use crate::faults::{FaultPlan, FaultState};
 use crate::metrics::RunMetrics;
 use crate::rng::node_rng;
 use crate::trace::{NullSink, PhaseAction, TraceSink, Tracer};
@@ -310,6 +311,8 @@ pub struct Network<'g> {
     /// Sorted flat adjacency (the Ctx hands slices of it out and `send`
     /// binary searches them).
     adjacency: CsrAdjacency,
+    /// Fault schedule, if any; `None` selects the pre-fault code path.
+    faults: Option<FaultPlan>,
 }
 
 impl<'g> Network<'g> {
@@ -341,7 +344,22 @@ impl<'g> Network<'g> {
             seed,
             metrics: RunMetrics::default(),
             adjacency,
+            faults: None,
         }
+    }
+
+    /// Injects faults from `plan` on subsequent runs (see
+    /// [`FaultPlan`]). Without this call — or with an empty plan — the
+    /// round loop is the exact pre-fault monomorphization, so the unfaulted
+    /// hot path costs nothing.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault schedule in force, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The underlying graph.
@@ -408,19 +426,23 @@ impl<'g> Network<'g> {
         F: FnMut(NodeId, &mut SmallRng) -> P,
     {
         let mut tracer = Tracer::new(sink);
-        // Monomorphize the round loop on the tracing decision: the untraced
-        // instantiation carries no per-message branches at all, so `run` costs
-        // exactly what it did before tracing existed.
-        let result = if tracer.enabled() {
-            self.run_inner::<P, F, true>(factory, max_rounds, &mut tracer)
-        } else {
-            self.run_inner::<P, F, false>(factory, max_rounds, &mut tracer)
+        // Monomorphize the round loop on the tracing and fault decisions:
+        // the untraced unfaulted instantiation carries no per-message
+        // branches at all, so `run` costs exactly what it did before
+        // tracing and fault injection existed.
+        let result = match (tracer.enabled(), self.faults.is_some()) {
+            (false, false) => {
+                self.run_inner::<P, F, false, false>(factory, max_rounds, &mut tracer)
+            }
+            (true, false) => self.run_inner::<P, F, true, false>(factory, max_rounds, &mut tracer),
+            (false, true) => self.run_inner::<P, F, false, true>(factory, max_rounds, &mut tracer),
+            (true, true) => self.run_inner::<P, F, true, true>(factory, max_rounds, &mut tracer),
         };
         tracer.finish(&self.metrics, result.as_ref().err());
         result
     }
 
-    fn run_inner<P, F, const TRACED: bool>(
+    fn run_inner<P, F, const TRACED: bool, const FAULTS: bool>(
         &mut self,
         mut factory: F,
         max_rounds: u32,
@@ -432,6 +454,20 @@ impl<'g> Network<'g> {
     {
         let n = self.graph.node_count();
         self.metrics = RunMetrics::default();
+        // The fault engine (empty and untouched unless FAULTS). Faulted
+        // rounds bypass the counting scatter: deliveries go through
+        // `FaultState::flush_due` into a per-node inbox arena, because
+        // delayed/held messages break the global-sender-order precondition
+        // the scatter needs.
+        let mut fstate: FaultState<P::Msg> = FaultState::new(
+            self.faults.clone().unwrap_or_default(),
+            if FAULTS { n } else { 0 },
+        );
+        let mut fault_inboxes: Vec<Vec<(NodeId, P::Msg)>> = if FAULTS {
+            (0..n).map(|_| Vec::new()).collect()
+        } else {
+            Vec::new()
+        };
 
         let mut rngs: Vec<SmallRng> = (0..n as u32).map(|v| node_rng(self.seed, v, 0)).collect();
         let mut nodes: Vec<P> = (0..n as u32)
@@ -459,8 +495,14 @@ impl<'g> Network<'g> {
         if TRACED {
             tracer.begin_round(0);
         }
+        if FAULTS {
+            fstate.begin_round(0);
+        }
         for v in 0..n {
             let node = NodeId(v as u32);
+            if FAULTS && fstate.plan().crashed(node, 0) {
+                continue;
+            }
             outbox.clear();
             stamp += 1;
             {
@@ -481,16 +523,37 @@ impl<'g> Network<'g> {
             if TRACED {
                 tracer.apply_actions(&mut phase_actions);
             }
-            self.flush::<_, TRACED>(node, 0, &mut outbox, &mut staging, tracer)?;
+            self.flush::<_, TRACED, FAULTS>(
+                node,
+                0,
+                &mut outbox,
+                &mut staging,
+                &mut fstate,
+                tracer,
+            )?;
         }
         if TRACED {
             tracer.end_round();
         }
+        if FAULTS {
+            self.metrics.faults = fstate.counters();
+        }
 
         let mut round: u32 = 0;
         loop {
-            // `staging` holds everything sent in the round just executed.
-            if staging.is_empty() && nodes.iter().all(Protocol::done) {
+            // `staging` (or the fault engine) holds everything sent in the
+            // round just executed. Crashed nodes count as done: they will
+            // never act again.
+            let quiescent = if FAULTS {
+                fstate.in_flight() == 0
+                    && nodes
+                        .iter()
+                        .enumerate()
+                        .all(|(v, p)| p.done() || fstate.plan().crashed(NodeId(v as u32), round))
+            } else {
+                staging.is_empty() && nodes.iter().all(Protocol::done)
+            };
+            if quiescent {
                 break;
             }
             if round >= max_rounds {
@@ -502,11 +565,28 @@ impl<'g> Network<'g> {
                 tracer.begin_round(round);
             }
 
-            scatter(&mut staging, &mut flat, &mut offsets, &mut cursor);
+            if FAULTS {
+                fstate.begin_round(round);
+                for inbox in &mut fault_inboxes {
+                    inbox.clear();
+                }
+                fstate.flush_due(round, |to, sender, msg| {
+                    fault_inboxes[to.index()].push((sender, msg));
+                });
+            } else {
+                scatter(&mut staging, &mut flat, &mut offsets, &mut cursor);
+            }
 
             for v in 0..n {
                 let node = NodeId(v as u32);
-                let inbox = &flat[offsets[v] as usize..offsets[v + 1] as usize];
+                if FAULTS && fstate.plan().skips(node, round) {
+                    continue;
+                }
+                let inbox: &[(NodeId, P::Msg)] = if FAULTS {
+                    &fault_inboxes[v]
+                } else {
+                    &flat[offsets[v] as usize..offsets[v + 1] as usize]
+                };
                 debug_assert!(inbox.windows(2).all(|w| w[0].0 <= w[1].0));
                 outbox.clear();
                 stamp += 1;
@@ -528,23 +608,35 @@ impl<'g> Network<'g> {
                 if TRACED {
                     tracer.apply_actions(&mut phase_actions);
                 }
-                self.flush::<_, TRACED>(node, round, &mut outbox, &mut staging, tracer)?;
+                self.flush::<_, TRACED, FAULTS>(
+                    node,
+                    round,
+                    &mut outbox,
+                    &mut staging,
+                    &mut fstate,
+                    tracer,
+                )?;
             }
             if TRACED {
                 tracer.end_round();
+            }
+            if FAULTS {
+                self.metrics.faults = fstate.counters();
             }
         }
 
         Ok(nodes)
     }
 
-    /// Validates one node's outbox and appends it to the staging buffer.
-    fn flush<M: MessageSize, const TRACED: bool>(
+    /// Validates one node's outbox and appends it to the staging buffer
+    /// (or, under fault injection, routes it through the fault engine).
+    fn flush<M: MessageSize + Clone, const TRACED: bool, const FAULTS: bool>(
         &mut self,
         sender: NodeId,
         round: u32,
         outbox: &mut Vec<(NodeId, M)>,
         staging: &mut Vec<(NodeId, NodeId, M)>,
+        fstate: &mut FaultState<M>,
         tracer: &mut Tracer<'_>,
     ) -> Result<(), RunError> {
         if TRACED {
@@ -553,6 +645,7 @@ impl<'g> Network<'g> {
         for (to, msg) in outbox.drain(..) {
             let words = msg.words();
             if !self.budget.allows(words) {
+                self.metrics.faults = fstate.counters();
                 return Err(RunError::Budget(BudgetViolation {
                     sender,
                     receiver: to,
@@ -567,7 +660,11 @@ impl<'g> Network<'g> {
             if TRACED {
                 tracer.on_message(words);
             }
-            staging.push((to, sender, msg));
+            if FAULTS {
+                fstate.accept(round, sender, to, msg);
+            } else {
+                staging.push((to, sender, msg));
+            }
         }
         Ok(())
     }

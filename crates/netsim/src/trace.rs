@@ -47,6 +47,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
+use crate::faults::FaultCounters;
 use crate::metrics::RunMetrics;
 use crate::sync::RunError;
 
@@ -121,6 +122,24 @@ pub enum TraceEvent {
         /// buckets are trimmed.
         sizes: Vec<u64>,
     },
+    /// Per-category fault counts of the run; emitted once, immediately
+    /// before [`TraceEvent::RunEnd`], and **only** when at least one fault
+    /// was injected — unfaulted runs keep their pre-fault byte-identical
+    /// streams. Mirrors `RunMetrics::faults`.
+    Faults {
+        /// Messages accepted but never delivered.
+        dropped: u64,
+        /// Extra copies delivered.
+        duplicated: u64,
+        /// Messages delivered late.
+        delayed: u64,
+        /// Messages addressed to an already-crashed node.
+        dead_letters: u64,
+        /// Crash-stop events that took effect.
+        crashes: u64,
+        /// Rounds skipped by stuttering nodes.
+        stutters: u64,
+    },
     /// The run ended; totals equal the run's [`RunMetrics`].
     RunEnd {
         /// Total rounds executed (partial rounds count, matching
@@ -191,6 +210,20 @@ impl TraceEvent {
                 }
                 s.push_str("]}");
             }
+            TraceEvent::Faults {
+                dropped,
+                duplicated,
+                delayed,
+                dead_letters,
+                crashes,
+                stutters,
+            } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"faults\",\"dropped\":{dropped},\"duplicated\":{duplicated},\
+                     \"delayed\":{delayed},\"dead_letters\":{dead_letters},\
+                     \"crashes\":{crashes},\"stutters\":{stutters}}}"
+                ));
+            }
             TraceEvent::RunEnd {
                 rounds,
                 messages,
@@ -249,6 +282,14 @@ impl TraceEvent {
                     Some(JsonVal::Arr(v)) => v.clone(),
                     _ => return None,
                 },
+            }),
+            "faults" => Some(TraceEvent::Faults {
+                dropped: num("dropped")?,
+                duplicated: num("duplicated")?,
+                delayed: num("delayed")?,
+                dead_letters: num("dead_letters")?,
+                crashes: num("crashes")?,
+                stutters: num("stutters")?,
             }),
             "run_end" => Some(TraceEvent::RunEnd {
                 rounds: num("rounds")? as u32,
@@ -580,6 +621,7 @@ pub struct TraceSummary {
     messages: u64,
     words: u64,
     sizes: Vec<u64>,
+    faults: Option<FaultCounters>,
     error: Option<String>,
     ended: bool,
 }
@@ -647,6 +689,23 @@ impl TraceSummary {
                 bucket.last_round = (*round).max(bucket.last_round);
                 bucket.first_round = (*round).min(bucket.first_round);
             }
+            TraceEvent::Faults {
+                dropped,
+                duplicated,
+                delayed,
+                dead_letters,
+                crashes,
+                stutters,
+            } => {
+                self.faults = Some(FaultCounters {
+                    dropped: *dropped,
+                    duplicated: *duplicated,
+                    delayed: *delayed,
+                    dead_letters: *dead_letters,
+                    crashes: *crashes,
+                    stutters: *stutters,
+                });
+            }
             TraceEvent::RunEnd { error, .. } => {
                 self.ended = true;
                 self.error.clone_from(error);
@@ -684,6 +743,13 @@ impl TraceSummary {
     /// bucket `b` (see [`size_bucket`]). Trailing zero buckets trimmed.
     pub fn size_histogram(&self) -> &[u64] {
         &self.sizes
+    }
+
+    /// Fault counts recorded by the stream's
+    /// [`Faults`](TraceEvent::Faults) event; `None` when the run injected
+    /// no faults (the event is omitted from unfaulted streams).
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref()
     }
 
     /// The error that ended the traced run, if it failed.
@@ -756,6 +822,9 @@ impl TraceSummary {
                 format!("{}..={}", 1u64 << b, (1u64 << (b + 1)) - 1)
             };
             out.push_str(&format!("  [{range}] {count}\n"));
+        }
+        if let Some(fc) = &self.faults {
+            out.push_str(&format!("\nfaults injected: {fc}\n"));
         }
         if let Some(e) = &self.error {
             out.push_str(&format!("\nrun FAILED: {e}\n"));
@@ -921,6 +990,17 @@ impl<'s> Tracer<'s> {
                 name: old,
             });
         }
+        if !metrics.faults.is_empty() {
+            let f = metrics.faults;
+            self.sink.record(TraceEvent::Faults {
+                dropped: f.dropped,
+                duplicated: f.duplicated,
+                delayed: f.delayed,
+                dead_letters: f.dead_letters,
+                crashes: f.crashes,
+                stutters: f.stutters,
+            });
+        }
         self.sink.record(TraceEvent::RunEnd {
             rounds: metrics.rounds,
             messages: metrics.messages,
@@ -974,6 +1054,14 @@ mod tests {
                 round: 3,
                 name: "kill \"q\"\\phase".into(),
             },
+            TraceEvent::Faults {
+                dropped: 2,
+                duplicated: 1,
+                delayed: 3,
+                dead_letters: 0,
+                crashes: 1,
+                stutters: 4,
+            },
             TraceEvent::RunEnd {
                 rounds: 3,
                 messages: 14,
@@ -1026,7 +1114,7 @@ mod tests {
         for ev in sample_events() {
             ring.record(ev);
         }
-        assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.dropped(), 7);
         let kept = ring.into_events();
         assert_eq!(kept.len(), 2);
         assert!(matches!(kept[1], TraceEvent::RunEnd { .. }));
@@ -1052,6 +1140,9 @@ mod tests {
         assert_eq!(s.phases()[0].messages, 14);
         assert_eq!(s.phases()[1].rounds, 1);
         assert_eq!(s.untracked(), None);
+        let fc = s.fault_counters().expect("faults event observed");
+        assert_eq!(fc.dropped, 2);
+        assert_eq!(fc.stutters, 4);
         // Phase rounds sum to the total.
         let sum: u32 = s.phases().iter().map(|p| p.rounds).sum();
         assert_eq!(sum, s.total_rounds());

@@ -9,9 +9,10 @@ use proptest::prelude::*;
 use rand::Rng;
 use spanner_graph::{generators, Graph, NodeId};
 use spanner_netsim::patterns::MinIdBroadcast;
+use spanner_netsim::rng::splitmix64;
 use spanner_netsim::{
-    Ctx, JsonLinesSink, MessageBudget, Network, ParallelNetwork, Protocol, RingBufferSink,
-    RunError, TraceEvent,
+    Ctx, FaultPlan, JsonLinesSink, MessageBudget, Network, ParallelNetwork, Protocol,
+    RingBufferSink, RunError, TraceEvent,
 };
 
 /// Large enough that no test run ever evicts an event.
@@ -93,6 +94,49 @@ fn assert_parity(g: &Graph, seed: u64, ttl: u32) {
     }
 }
 
+/// Like [`assert_parity`] but under a fault schedule, over the full thread
+/// range, asserting parity of the outcome (`Ok` states or typed `Err`),
+/// metrics, and trace stream alike.
+fn assert_parity_under_faults(g: &Graph, seed: u64, ttl: u32, plan: &FaultPlan) {
+    let max_rounds = 4 * ttl + 16;
+    let mut seq = Network::new(g, MessageBudget::CONGEST, seed).with_faults(plan.clone());
+    let mut seq_trace = RingBufferSink::new(TRACE_CAP);
+    let seq_result = seq.run_traced(|_, _| GossipHash::new(ttl), max_rounds, &mut seq_trace);
+    assert_eq!(seq_trace.dropped(), 0);
+    let seq_events = seq_trace.into_events();
+    for threads in 1usize..=8 {
+        let mut par = ParallelNetwork::new(g, MessageBudget::CONGEST, seed, threads)
+            .with_faults(plan.clone());
+        let mut par_trace = RingBufferSink::new(TRACE_CAP);
+        let par_result = par.run_traced(|_, _| GossipHash::new(ttl), max_rounds, &mut par_trace);
+        assert_eq!(seq_result, par_result, "outcome, {threads} threads");
+        assert_eq!(seq.metrics(), par.metrics(), "metrics, {threads} threads");
+        assert_eq!(
+            seq_events,
+            par_trace.into_events(),
+            "trace events, {threads} threads"
+        );
+    }
+}
+
+/// A mixed drop/delay/crash schedule derived from one seed (the fault
+/// classes the satellite task calls out; stutters and duplicates are
+/// covered by `fault_conformance.rs`).
+fn fault_schedule(fseed: u64, n: usize) -> FaultPlan {
+    let mut s = fseed;
+    let mut plan = FaultPlan::new(splitmix64(&mut s))
+        .with_drops((splitmix64(&mut s) % 25) as f64 * 0.01)
+        .with_delays(
+            (splitmix64(&mut s) % 25) as f64 * 0.01,
+            1 + (splitmix64(&mut s) % 3) as u32,
+        );
+    for _ in 0..splitmix64(&mut s) % 3 {
+        let v = NodeId((splitmix64(&mut s) % n as u64) as u32);
+        plan = plan.with_crash(v, (splitmix64(&mut s) % 5) as u32);
+    }
+    plan
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -103,7 +147,7 @@ proptest! {
         seed in any::<u64>(),
         ttl in 1u32..6,
     ) {
-        let m = ((n as f64) * density) as usize;
+        let m = (((n as f64) * density) as usize).min(n * (n - 1) / 2);
         let g = generators::erdos_renyi_gnm(n, m, seed ^ 0x5EED);
         assert_parity(&g, seed, ttl);
     }
@@ -117,6 +161,29 @@ proptest! {
         // duplicate scan and exercises cross-chunk routing the hardest.
         let g = generators::star(leaves + 1);
         assert_parity(&g, seed, 3);
+    }
+
+    #[test]
+    fn executors_agree_under_fault_schedules(
+        n in 2usize..=64,
+        density in 1.0f64..3.0,
+        seed in any::<u64>(),
+        fseed in any::<u64>(),
+        ttl in 1u32..5,
+    ) {
+        let m = (((n as f64) * density) as usize).min(n * (n - 1) / 2);
+        let g = generators::erdos_renyi_gnm(n, m, seed ^ 0x0F17);
+        assert_parity_under_faults(&g, seed, ttl, &fault_schedule(fseed, n));
+    }
+
+    #[test]
+    fn executors_agree_under_faults_on_stars(
+        leaves in 2usize..=160,
+        seed in any::<u64>(),
+        fseed in any::<u64>(),
+    ) {
+        let g = generators::star(leaves + 1);
+        assert_parity_under_faults(&g, seed, 3, &fault_schedule(fseed, leaves + 1));
     }
 }
 

@@ -61,7 +61,7 @@ macro_rules! proptest {
         #[test]
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
-            for case in 0..config.cases {
+            for case in 0..config.resolved_cases() {
                 let mut runner_rng =
                     $crate::test_runner::TestRng::for_case(stringify!($name), case);
                 $( let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut runner_rng); )+

@@ -15,6 +15,17 @@ impl Config {
     pub fn with_cases(cases: u32) -> Self {
         Config { cases }
     }
+
+    /// The case count to actually run: the `PROPTEST_CASES` environment
+    /// variable overrides `self.cases` when set — the shim's analogue of
+    /// real proptest's env override, used by CI to pin the fault smoke
+    /// job's depth. A non-numeric value is ignored.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for Config {

@@ -3,7 +3,7 @@
 //! (who is sparser, who stretches less).
 
 use ultrasparse_spanners::baselines::{additive2, baswana_sen, bfs_skeleton, greedy};
-use ultrasparse_spanners::graph::generators;
+use ultrasparse_spanners::graph::{generators, verify_stretch_exact, StretchBound};
 
 #[test]
 fn all_baselines_guarantee_matrix() {
@@ -20,25 +20,31 @@ fn all_baselines_guarantee_matrix() {
             baswana_sen::build_distributed(&g, &p, 5).expect("run"),
         ] {
             assert!(s.is_spanning(&g));
-            let r = s.stretch_exact(&g);
-            assert!(r.satisfies_multiplicative((2 * k - 1) as f64), "BS k={k}");
+            verify_stretch_exact(
+                &g,
+                &s.edges,
+                StretchBound::multiplicative((2 * k - 1) as f64),
+            )
+            .unwrap_or_else(|viol| panic!("BS k={k}: {viol}"));
         }
     }
 
     for k in [2u32, 3] {
         let s = greedy::build(&g, k);
         assert!(s.is_spanning(&g));
-        let r = s.stretch_exact(&g);
-        assert!(
-            r.satisfies_multiplicative((2 * k - 1) as f64),
-            "greedy k={k}"
-        );
+        verify_stretch_exact(
+            &g,
+            &s.edges,
+            StretchBound::multiplicative((2 * k - 1) as f64),
+        )
+        .unwrap_or_else(|viol| panic!("greedy k={k}: {viol}"));
         assert!(greedy::has_greedy_girth(&g, &s, k));
     }
 
     let add2 = additive2::build(&g, 7);
     assert!(add2.is_spanning(&g));
-    assert!(add2.stretch_exact(&g).satisfies_additive(2));
+    verify_stretch_exact(&g, &add2.edges, StretchBound::additive(2))
+        .unwrap_or_else(|viol| panic!("additive2: {viol}"));
 }
 
 #[test]

@@ -5,7 +5,8 @@
 //! oracles.
 
 use ultrasparse_spanners::graph::distance::{Apsp, UNREACHABLE};
-use ultrasparse_spanners::graph::{generators, NodeId};
+use ultrasparse_spanners::graph::traversal::subgraph_distances;
+use ultrasparse_spanners::graph::{generators, verify_stretch_exact, NodeId, StretchBound};
 use ultrasparse_spanners::oracle::{DistanceOracle, RoutingScheme};
 
 #[test]
@@ -15,23 +16,25 @@ fn oracle_and_spanner_agree_on_guarantee() {
         let oracle = DistanceOracle::build(&g, k, 9);
         let spanner = oracle.to_spanner();
         assert!(spanner.is_spanning(&g));
-        let apsp = Apsp::new(&g);
-        let stretch = (2 * k - 1) as u64;
+        // The induced spanner respects the (2k-1) guarantee on every pair.
+        verify_stretch_exact(
+            &g,
+            &spanner.edges,
+            StretchBound::multiplicative((2 * k - 1) as f64),
+        )
+        .unwrap_or_else(|viol| panic!("k={k}: {viol}"));
         // The oracle's estimate is realizable inside its induced spanner:
         // query(u,v) is a distance of an actual path, so the spanner's
         // exact distance is at most the query estimate, and both respect
         // the (2k-1) guarantee.
-        let adj = spanner.edges.adjacency(&g);
+        let apsp = Apsp::new(&g);
+        let stretch = (2 * k - 1) as u64;
         for &(a, b) in &[(0u32, 200), (17, 255), (40, 111), (3, 299)] {
             let (u, v) = (NodeId(a), NodeId(b));
             let exact = apsp.dist(u, v) as u64;
             let est = oracle.query(u, v) as u64;
-            let in_spanner = ultrasparse_spanners::graph::traversal::bfs_distances_in_subgraph(
-                &adj,
-                u,
-                u32::MAX,
-            )[v.index()]
-            .expect("spanner spans") as u64;
+            let in_spanner =
+                subgraph_distances(&g, &spanner.edges, u)[v.index()].expect("spanner spans") as u64;
             assert!(est <= stretch * exact, "k={k}: oracle estimate");
             assert!(in_spanner <= est, "k={k}: estimate realizable in spanner");
             assert!(in_spanner >= exact);

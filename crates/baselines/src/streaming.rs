@@ -40,8 +40,11 @@ pub struct StreamingSpanner {
     k: u32,
     adj: Vec<Vec<NodeId>>,
     kept: Vec<(NodeId, NodeId)>,
-    // Scratch for the bounded BFS (timestamped to avoid re-allocation).
+    // Scratch for the bounded BFS (timestamped to avoid re-allocation):
+    // backward marks, forward marks, forward distances.
     mark: Vec<u32>,
+    fmark: Vec<u32>,
+    fdist: Vec<u32>,
     epoch: u32,
 }
 
@@ -58,6 +61,8 @@ impl StreamingSpanner {
             adj: vec![Vec::new(); n],
             kept: Vec::new(),
             mark: vec![0; n],
+            fmark: vec![0; n],
+            fdist: vec![0; n],
             epoch: 0,
         }
     }
@@ -100,8 +105,64 @@ impl StreamingSpanner {
         true
     }
 
-    /// Bounded BFS in the kept subgraph: is δ(u, v) ≤ `limit`?
+    /// Bidirectional bounded BFS in the kept subgraph: is δ(u, v) ≤ `limit`?
+    ///
+    /// Meet-in-the-middle: a forward sweep from `u` to radius ⌈limit/2⌉
+    /// records its ball, then a backward sweep from `v` to the remaining
+    /// radius reports success as soon as it touches a node `y` with
+    /// `fdist(y) + bdist(y) ≤ limit`. Both balls have roughly the square
+    /// root of the unidirectional frontier size, which is what makes the
+    /// per-edge filter cheap on dense streams. Soundness: the distances on
+    /// both sides are exact within their radii, so a meeting certifies a
+    /// walk of length ≤ limit; conversely a shortest path of length
+    /// D ≤ limit has a node at distance min(⌈limit/2⌉, D) from `u` that
+    /// the backward sweep reaches within limit − ⌈limit/2⌉ hops.
     fn distance_at_most(&mut self, u: NodeId, v: NodeId, limit: u32) -> bool {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let forward_radius = limit.div_ceil(2);
+        self.fmark[u.index()] = epoch;
+        self.fdist[u.index()] = 0;
+        let mut queue = VecDeque::from([(u, 0u32)]);
+        while let Some((x, d)) = queue.pop_front() {
+            if x == v {
+                return true;
+            }
+            if d == forward_radius {
+                continue;
+            }
+            for &y in &self.adj[x.index()] {
+                if self.fmark[y.index()] != epoch {
+                    self.fmark[y.index()] = epoch;
+                    self.fdist[y.index()] = d + 1;
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        let backward_radius = limit - forward_radius;
+        self.mark[v.index()] = epoch;
+        let mut queue = VecDeque::from([(v, 0u32)]);
+        while let Some((x, d)) = queue.pop_front() {
+            if self.fmark[x.index()] == epoch && self.fdist[x.index()] + d <= limit {
+                return true;
+            }
+            if d == backward_radius {
+                continue;
+            }
+            for &y in &self.adj[x.index()] {
+                if self.mark[y.index()] != epoch {
+                    self.mark[y.index()] = epoch;
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        false
+    }
+
+    /// The original single-direction bounded BFS, kept as the reference
+    /// the proptest suite cross-checks the bidirectional version against.
+    #[cfg(test)]
+    fn distance_at_most_unidirectional(&mut self, u: NodeId, v: NodeId, limit: u32) -> bool {
         self.epoch += 1;
         let epoch = self.epoch;
         self.mark[u.index()] = epoch;
@@ -132,8 +193,9 @@ impl StreamingSpanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::seq::SliceRandom;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use spanner_graph::girth::girth_exceeds;
     use spanner_graph::{generators, Graph};
     use ultrasparse::Spanner;
@@ -200,6 +262,41 @@ mod tests {
                     kept.insert(pg.find_edge(a, b).expect("kept edge in prefix"));
                 }
                 assert!(Spanner::from_edges(kept).is_spanning(&pg), "prefix {i}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn bidirectional_matches_unidirectional(
+            n in 2usize..=40,
+            m in 0usize..=160,
+            k in 1u32..=4,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let mut s = StreamingSpanner::new(n, k);
+            for _ in 0..m {
+                let u = NodeId(rng.gen_range(0..n as u32));
+                let v = NodeId(rng.gen_range(0..n as u32));
+                if u != v {
+                    s.offer(u, v);
+                }
+            }
+            for _ in 0..64 {
+                let u = NodeId(rng.gen_range(0..n as u32));
+                let v = NodeId(rng.gen_range(0..n as u32));
+                if u == v {
+                    continue;
+                }
+                let limit = rng.gen_range(0..=2 * k + 2);
+                prop_assert_eq!(
+                    s.distance_at_most(u, v, limit),
+                    s.distance_at_most_unidirectional(u, v, limit),
+                    "query ({u}, {v}) limit {limit}"
+                );
             }
         }
     }

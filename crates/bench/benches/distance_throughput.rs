@@ -1,0 +1,176 @@
+//! Distance-engine throughput: bit-parallel flat-frontier BFS vs the
+//! seed-style one-BFS-per-source path.
+//!
+//! The seed verification/APSP hot path ran `traversal::bfs_distances` once
+//! per source: a `VecDeque` walk over `Vec<Vec<NodeId>>`-shaped adjacency
+//! with a fresh `Vec<Option<u32>>` per call. The engine replaces it with a
+//! flat CSR and a 64-way bit-parallel multi-source BFS, so a batch of 64
+//! sources costs roughly one traversal of the graph.
+//!
+//! Three shapes at n = 50 000 (the scale of the paper's experiments):
+//! ER (m = 200 000), a 224×224 grid, and a star (diameter 2). Each timing
+//! batch answers `S = 256` consecutive sources — the access pattern of
+//! `apsp_matrix` and the stretch verifiers, whose batches are runs of 64
+//! adjacent ids. Bit-parallelism pays when the 64 BFS waves overlap (ER,
+//! star, and adjacent grid sources); widely-scattered sources on a
+//! high-diameter lattice would instead degrade toward one wave per bit.
+//! The acceptance target is ≥ 4× over the seed path on ER at `--threads 8`
+//! and ≥ 1.5× single-threaded.
+//!
+//! Besides the criterion report, the bench writes `BENCH_distance.json` at
+//! the repo root with the measured speedups. `DISTANCE_THROUGHPUT_SCALE=tiny`
+//! shrinks everything to a seconds-scale smoke run (the CI configuration).
+
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use spanner_graph::distance::UNREACHABLE;
+use spanner_graph::{generators, traversal, DistanceEngine, Graph, NodeId};
+
+struct Scale {
+    n: usize,
+    m: usize,
+    grid_side: usize,
+    sources: usize,
+    samples: usize,
+    measurement: Duration,
+}
+
+fn scale() -> Scale {
+    match std::env::var("DISTANCE_THROUGHPUT_SCALE").as_deref() {
+        Ok("tiny") => Scale {
+            n: 600,
+            m: 2_400,
+            grid_side: 24,
+            sources: 64,
+            samples: 1,
+            measurement: Duration::from_millis(200),
+        },
+        _ => Scale {
+            n: 50_000,
+            m: 200_000,
+            grid_side: 224,
+            sources: 256,
+            samples: 5,
+            measurement: Duration::from_secs(3),
+        },
+    }
+}
+
+/// The seed hot path: one queue-based BFS per source.
+fn seed_batch(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let n = g.node_count();
+    let mut out = Vec::with_capacity(sources.len() * n);
+    for &s in sources {
+        out.extend(
+            traversal::bfs_distances(g, s)
+                .into_iter()
+                .map(|d| d.unwrap_or(UNREACHABLE)),
+        );
+    }
+    out
+}
+
+/// Best wall-clock seconds over `samples` runs of `f` — the minimum is the
+/// noise-robust estimator on a shared machine (noise only ever adds time).
+fn time_best<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct ShapeResult {
+    name: &'static str,
+    seed_secs: f64,
+    engine_t1_secs: f64,
+    engine_t8_secs: f64,
+}
+
+impl ShapeResult {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"shape\": \"{}\", \"seed_secs\": {:.6}, \"engine_t1_secs\": {:.6}, \
+             \"engine_t8_secs\": {:.6}, \"speedup_t1\": {:.2}, \"speedup_t8\": {:.2}}}",
+            self.name,
+            self.seed_secs,
+            self.engine_t1_secs,
+            self.engine_t8_secs,
+            self.seed_secs / self.engine_t1_secs,
+            self.seed_secs / self.engine_t8_secs,
+        )
+    }
+}
+
+fn bench_shape(c: &mut Criterion, sc: &Scale, name: &'static str, g: &Graph) -> ShapeResult {
+    let n = g.node_count();
+    // Consecutive ids: the batch shape of apsp_matrix / verification.
+    let sources: Vec<NodeId> = (0..sc.sources.min(n) as u32).map(NodeId).collect();
+
+    let e1 = DistanceEngine::new(g).with_threads(1);
+    let e8 = DistanceEngine::new(g).with_threads(8);
+    let expect = seed_batch(g, &sources);
+    assert_eq!(e1.many_distances(&sources), expect, "{name}: t=1 parity");
+    assert_eq!(e8.many_distances(&sources), expect, "{name}: t=8 parity");
+
+    let mut group = c.benchmark_group(format!("distance_throughput/{name}"));
+    group.sample_size(sc.samples.max(2));
+    group.measurement_time(sc.measurement);
+    group.bench_function("seed_path", |b| b.iter(|| seed_batch(g, &sources)));
+    group.bench_function("engine_t1", |b| b.iter(|| e1.many_distances(&sources)));
+    group.bench_function("engine_t8", |b| b.iter(|| e8.many_distances(&sources)));
+    group.finish();
+
+    ShapeResult {
+        name,
+        seed_secs: time_best(sc.samples, || seed_batch(g, &sources)),
+        engine_t1_secs: time_best(sc.samples, || e1.many_distances(&sources)),
+        engine_t8_secs: time_best(sc.samples, || e8.many_distances(&sources)),
+    }
+}
+
+fn main() {
+    let sc = scale();
+    let tiny = sc.n < 50_000;
+    println!(
+        "distance_throughput: n = {}, {} sources per batch{}",
+        sc.n,
+        sc.sources,
+        if tiny { " (tiny smoke scale)" } else { "" }
+    );
+
+    let er = generators::erdos_renyi_gnm(sc.n, sc.m, 42);
+    let grid = generators::grid(sc.grid_side, sc.grid_side);
+    let star = generators::star(sc.n);
+
+    let mut c = Criterion::default();
+    let results = [
+        bench_shape(&mut c, &sc, "er", &er),
+        bench_shape(&mut c, &sc, "grid", &grid),
+        bench_shape(&mut c, &sc, "star", &star),
+    ];
+
+    let er_res = &results[0];
+    let speedup_t1 = er_res.seed_secs / er_res.engine_t1_secs;
+    let speedup_t8 = er_res.seed_secs / er_res.engine_t8_secs;
+    println!("er: engine vs seed path {speedup_t1:.2}x at 1 thread, {speedup_t8:.2}x at 8 threads");
+
+    let shapes: Vec<String> = results.iter().map(ShapeResult::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"distance_throughput\",\n  \"scale\": \"{}\",\n  \"n\": {},\n  \
+         \"sources_per_batch\": {},\n  \"er_speedup_threads1\": {:.2},\n  \
+         \"er_speedup_threads8\": {:.2},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+        if tiny { "tiny" } else { "full" },
+        sc.n,
+        sc.sources,
+        speedup_t1,
+        speedup_t8,
+        shapes.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_distance.json");
+    std::fs::write(path, json).expect("write BENCH_distance.json");
+    println!("wrote {path}");
+}

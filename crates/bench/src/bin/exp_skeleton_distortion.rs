@@ -7,7 +7,7 @@
 //! simulator round count, the planned timetable, and the max message
 //! length.
 
-use spanner_bench::{f2, scaled, timed, workload, Table, TraceOutput};
+use spanner_bench::{f2, scaled, threads_arg, timed, workload, Table, TraceOutput};
 use ultrasparse::seq::log_star;
 use ultrasparse::skeleton::{distributed, SkeletonParams};
 
@@ -20,6 +20,7 @@ fn main() {
     };
     let params = SkeletonParams::default();
     let pairs = scaled(2_000, 500);
+    let threads = threads_arg();
     println!("E3 (Theorem 2): skeleton distortion/rounds vs n (D = 4, eps = 0.5)\n");
 
     let mut table = Table::new([
@@ -44,7 +45,7 @@ fn main() {
         });
         tr.finish();
         assert!(spanner.is_spanning(&g));
-        let r = spanner.stretch_sampled(&g, pairs, 5);
+        let r = spanner.stretch_sampled_threads(&g, pairs, 5, threads);
         let sched = params.schedule(n);
         let envelope =
             2f64.powi(log_star(n as f64) as i32) * (n as f64).log2() / 4f64.log2() / params.eps;

@@ -14,7 +14,7 @@
 //!   Fibonacci spanner (Theorem 8), both distributed.
 
 use spanner_baselines::{additive2, baswana_sen, bfs_skeleton, greedy};
-use spanner_bench::{f2, fault_plan_arg, scale3, timed, workload, Table, TraceOutput};
+use spanner_bench::{f2, fault_plan_arg, scale3, threads_arg, timed, workload, Table, TraceOutput};
 use ultrasparse::fibonacci::{self, FibonacciParams};
 use ultrasparse::skeleton::{self, SkeletonParams};
 
@@ -24,6 +24,7 @@ fn main() {
     let seed = 42;
     let g = workload(n, density, seed);
     let pairs = scale3(4_000, 500, 120);
+    let threads = threads_arg();
     let traces = TraceOutput::from_args();
     let faults = fault_plan_arg();
     if let Some(plan) = &faults {
@@ -54,7 +55,7 @@ fn main() {
                    s: &ultrasparse::Spanner,
                    secs: f64,
                    table: &mut Table| {
-        let r = s.stretch_sampled(&g, pairs, 7);
+        let r = s.stretch_sampled_threads(&g, pairs, 7, threads);
         assert!(s.is_spanning(&g), "{name} must span");
         let (rounds, words) = match &s.metrics {
             Some(m) => (m.rounds.to_string(), m.max_message_words.to_string()),

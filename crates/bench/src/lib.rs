@@ -64,6 +64,34 @@ pub fn fault_plan_arg() -> Option<FaultPlan> {
     Some(FaultPlan::parse_spec(&spec).unwrap_or_else(|e| panic!("bad --faults spec: {e}")))
 }
 
+/// The `--threads N` argument (also `--threads=N`), defaulting to 1.
+///
+/// Experiments feed this to the distance engine's verification passes
+/// (`stretch_sampled_threads` and friends); results are identical at every
+/// thread count, so the flag only changes wall-clock time.
+///
+/// # Panics
+///
+/// Panics on a malformed or zero count — experiments fail loudly rather
+/// than silently run single-threaded.
+pub fn threads_arg() -> usize {
+    let mut args = std::env::args();
+    let spec = loop {
+        let Some(a) = args.next() else { return 1 };
+        if a == "--threads" {
+            break args.next().expect("--threads needs a count argument");
+        }
+        if let Some(spec) = a.strip_prefix("--threads=") {
+            break spec.to_owned();
+        }
+    };
+    let n: usize = spec
+        .parse()
+        .unwrap_or_else(|e| panic!("bad --threads count {spec:?}: {e}"));
+    assert!(n >= 1, "--threads must be at least 1");
+    n
+}
+
 /// The `--trace-out <path>` argument, if present. Accepts both
 /// `--trace-out runs.jsonl` and `--trace-out=runs.jsonl`.
 pub fn trace_out_arg() -> Option<PathBuf> {

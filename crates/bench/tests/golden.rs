@@ -120,6 +120,18 @@ fn fig1_table_tiny_matches_golden() {
     assert_matches_golden("fig1_table.tiny.txt", &normalize_secs(&out));
 }
 
+/// The stretch columns are computed by the parallel distance engine, whose
+/// results are thread-count-independent: the same golden snapshot must
+/// hold verbatim when the table is produced with `--threads 4`.
+#[test]
+fn fig1_table_tiny_unchanged_by_threads() {
+    let out = run(
+        env!("CARGO_BIN_EXE_fig1_table"),
+        &["--tiny", "--threads", "4"],
+    );
+    assert_matches_golden("fig1_table.tiny.txt", &normalize_secs(&out));
+}
+
 #[test]
 fn exp_skeleton_size_tiny_matches_golden() {
     let out = run(env!("CARGO_BIN_EXE_exp_skeleton_size"), &["--tiny"]);

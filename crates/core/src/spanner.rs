@@ -8,9 +8,9 @@
 //! envelopes.
 
 use spanner_graph::components::preserves_connectivity;
-use spanner_graph::distance::{sample_pairs, Apsp, UNREACHABLE};
-use spanner_graph::traversal::bfs_distances_in_subgraph;
-use spanner_graph::{EdgeSet, Graph, NodeId};
+use spanner_graph::distance::{sample_pairs, UNREACHABLE};
+use spanner_graph::engine::BfsScratch;
+use spanner_graph::{DistanceEngine, EdgeSet, Graph, NodeId};
 use spanner_netsim::RunMetrics;
 
 /// A spanner of a host graph: the selected edge subset plus the cost of
@@ -54,25 +54,42 @@ impl Spanner {
         self.edges.universe() == g.edge_count() && preserves_connectivity(g, &self.edges)
     }
 
-    /// Exact distortion over **all** connected pairs (O(n·m) per graph —
-    /// use on verification-sized inputs).
+    /// Exact distortion over **all** connected pairs (O(n·m/64) traversal
+    /// work via the bit-parallel engine — use on verification-sized
+    /// inputs).
     pub fn stretch_exact(&self, g: &Graph) -> StretchReport {
-        let host = Apsp::new(g);
-        let adj = self.edges.adjacency(g);
+        self.stretch_exact_threads(g, 1)
+    }
+
+    /// [`Spanner::stretch_exact`] with the engine fanned out over
+    /// `threads` workers. Distance rows are computed in parallel but
+    /// recorded sequentially in (u, v) order, so the report — including
+    /// its order-sensitive witness pair and float means — is identical at
+    /// every thread count.
+    pub fn stretch_exact_threads(&self, g: &Graph, threads: usize) -> StretchReport {
+        let n = g.node_count();
+        let host = DistanceEngine::new(g).with_threads(threads);
+        let sub = DistanceEngine::for_subgraph(g, &self.edges).with_threads(threads);
         let mut report = StretchReport::empty();
-        for u in g.nodes() {
-            let ds = bfs_distances_in_subgraph(&adj, u, u32::MAX);
-            for v in g.nodes() {
-                if v <= u {
-                    continue;
+        // One stride of sources per engine call bounds peak row memory at
+        // 2 × 64 × threads × n cells while keeping every worker busy.
+        let stride = 64 * threads.max(1);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + stride).min(n);
+            let sources: Vec<NodeId> = (start as u32..end as u32).map(NodeId).collect();
+            let host_rows = host.many_distances(&sources);
+            let sub_rows = sub.many_distances(&sources);
+            for (i, &u) in sources.iter().enumerate() {
+                let dg = &host_rows[i * n..(i + 1) * n];
+                let ds = &sub_rows[i * n..(i + 1) * n];
+                for v in (u.index() + 1)..n {
+                    if dg[v] != UNREACHABLE {
+                        report.record(u, NodeId(v as u32), dg[v], ds[v]);
+                    }
                 }
-                let d = host.dist(u, v);
-                if d == UNREACHABLE {
-                    continue;
-                }
-                let dsv = ds[v.index()].map_or(UNREACHABLE, |x| x);
-                report.record(u, v, d, dsv);
             }
+            start = end;
         }
         report
     }
@@ -80,20 +97,49 @@ impl Spanner {
     /// Distortion on `count` sampled connected pairs (seeded), grouping BFS
     /// runs per source; suitable for large graphs.
     pub fn stretch_sampled(&self, g: &Graph, count: usize, seed: u64) -> StretchReport {
+        self.stretch_sampled_threads(g, count, seed, 1)
+    }
+
+    /// [`Spanner::stretch_sampled`] with the engine fanned out over
+    /// `threads` workers; same sequential-record determinism argument as
+    /// [`Spanner::stretch_exact_threads`].
+    pub fn stretch_sampled_threads(
+        &self,
+        g: &Graph,
+        count: usize,
+        seed: u64,
+        threads: usize,
+    ) -> StretchReport {
         let pairs = sample_pairs(g, count, seed);
-        let adj = self.edges.adjacency(g);
+        let n = g.node_count();
+        let sub = DistanceEngine::for_subgraph(g, &self.edges).with_threads(threads);
         let mut report = StretchReport::empty();
-        let mut cache: Option<(NodeId, Vec<Option<u32>>)> = None;
-        for p in pairs {
-            let ds = match &cache {
-                Some((src, ds)) if *src == p.u => ds,
-                _ => {
-                    cache = Some((p.u, bfs_distances_in_subgraph(&adj, p.u, u32::MAX)));
-                    &cache.as_ref().expect("just set").1
+        let stride = 64 * threads.max(1);
+        let mut i = 0usize;
+        while i < pairs.len() {
+            // The next `stride` distinct sources (pairs arrive sorted by
+            // source, so sources form contiguous runs).
+            let mut sources: Vec<NodeId> = Vec::with_capacity(stride);
+            let mut j = i;
+            while j < pairs.len() {
+                let u = pairs[j].u;
+                if sources.last() != Some(&u) {
+                    if sources.len() == stride {
+                        break;
+                    }
+                    sources.push(u);
                 }
-            };
-            let dsv = ds[p.v.index()].map_or(UNREACHABLE, |x| x);
-            report.record(p.u, p.v, p.dist, dsv);
+                j += 1;
+            }
+            let rows = sub.many_distances(&sources);
+            let mut si = 0usize;
+            for p in &pairs[i..j] {
+                while sources[si] != p.u {
+                    si += 1;
+                }
+                report.record(p.u, p.v, p.dist, rows[si * n + p.v.index()]);
+            }
+            i = j;
         }
         report
     }
@@ -104,22 +150,21 @@ impl Spanner {
     /// four-stage Fibonacci distortion curves (Theorem 7).
     pub fn stretch_profile(&self, g: &Graph, count: usize, seed: u64) -> Vec<DistanceBucket> {
         let pairs = sample_pairs(g, count, seed);
-        let adj = self.edges.adjacency(g);
-        let mut cache: Option<(NodeId, Vec<Option<u32>>)> = None;
+        let sub = DistanceEngine::for_subgraph(g, &self.edges);
+        let mut scratch = BfsScratch::new(g.node_count());
+        let mut row = vec![UNREACHABLE; g.node_count()];
+        let mut cached: Option<NodeId> = None;
         let mut buckets: std::collections::BTreeMap<u32, DistanceBucket> =
             std::collections::BTreeMap::new();
         for p in pairs {
             if p.dist == 0 {
                 continue;
             }
-            let ds = match &cache {
-                Some((src, ds)) if *src == p.u => ds,
-                _ => {
-                    cache = Some((p.u, bfs_distances_in_subgraph(&adj, p.u, u32::MAX)));
-                    &cache.as_ref().expect("just set").1
-                }
-            };
-            let dsv = ds[p.v.index()].map_or(UNREACHABLE, |x| x);
+            if cached != Some(p.u) {
+                sub.distances_into(p.u, &mut scratch, &mut row);
+                cached = Some(p.u);
+            }
+            let dsv = row[p.v.index()];
             let b = buckets.entry(p.dist).or_insert(DistanceBucket {
                 dist: p.dist,
                 pairs: 0,
@@ -165,26 +210,28 @@ impl Spanner {
     where
         F: Fn(u32) -> f64,
     {
-        let host = Apsp::new(g);
-        let adj = self.edges.adjacency(g);
+        let n = g.node_count();
+        let host = DistanceEngine::new(g);
+        let sub = DistanceEngine::for_subgraph(g, &self.edges);
+        let mut host_scratch = BfsScratch::new(n);
+        let mut sub_scratch = BfsScratch::new(n);
+        let mut dg = vec![UNREACHABLE; n];
+        let mut ds = vec![UNREACHABLE; n];
         for u in g.nodes() {
-            let ds = bfs_distances_in_subgraph(&adj, u, u32::MAX);
-            for v in g.nodes() {
-                if v <= u {
-                    continue;
-                }
-                let d = host.dist(u, v);
+            host.distances_into(u, &mut host_scratch, &mut dg);
+            sub.distances_into(u, &mut sub_scratch, &mut ds);
+            for v in (u.index() + 1)..n {
+                let d = dg[v];
                 if d == UNREACHABLE || d == 0 {
                     continue;
                 }
-                let dsv = ds[v.index()].map_or(UNREACHABLE, |x| x);
                 let allowed = envelope(d);
-                if dsv == UNREACHABLE || dsv as f64 > allowed + 1e-9 {
+                if ds[v] == UNREACHABLE || ds[v] as f64 > allowed + 1e-9 {
                     return Some(EnvelopeViolation {
                         u,
-                        v,
+                        v: NodeId(v as u32),
                         host: d,
-                        in_spanner: dsv,
+                        in_spanner: ds[v],
                         allowed,
                     });
                 }
@@ -205,20 +252,19 @@ impl Spanner {
         F: Fn(u32) -> f64,
     {
         let pairs = sample_pairs(g, count, seed);
-        let adj = self.edges.adjacency(g);
-        let mut cache: Option<(NodeId, Vec<Option<u32>>)> = None;
+        let sub = DistanceEngine::for_subgraph(g, &self.edges);
+        let mut scratch = BfsScratch::new(g.node_count());
+        let mut row = vec![UNREACHABLE; g.node_count()];
+        let mut cached: Option<NodeId> = None;
         for p in pairs {
             if p.dist == 0 {
                 continue;
             }
-            let ds = match &cache {
-                Some((src, ds)) if *src == p.u => ds,
-                _ => {
-                    cache = Some((p.u, bfs_distances_in_subgraph(&adj, p.u, u32::MAX)));
-                    &cache.as_ref().expect("just set").1
-                }
-            };
-            let dsv = ds[p.v.index()].map_or(UNREACHABLE, |x| x);
+            if cached != Some(p.u) {
+                sub.distances_into(p.u, &mut scratch, &mut row);
+                cached = Some(p.u);
+            }
+            let dsv = row[p.v.index()];
             let allowed = envelope(p.dist);
             if dsv == UNREACHABLE || dsv as f64 > allowed + 1e-9 {
                 return Some(EnvelopeViolation {
@@ -421,6 +467,31 @@ mod tests {
         let r = s.stretch_sampled(&g, 500, 9);
         assert!(r.max_multiplicative > 1.0);
         assert_eq!(r.disconnected, 0);
+    }
+
+    /// The float means and worst-pair witness are order-sensitive, so this
+    /// also pins the sequential-record determinism contract.
+    #[test]
+    fn threaded_reports_identical() {
+        let g = generators::connected_gnm(70, 200, 4);
+        let mut edges = EdgeSet::full(&g);
+        edges.remove(EdgeId(0));
+        edges.remove(EdgeId(7));
+        let s = Spanner::from_edges(edges);
+        let base_exact = s.stretch_exact(&g);
+        let base_sampled = s.stretch_sampled(&g, 300, 9);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                s.stretch_exact_threads(&g, threads),
+                base_exact,
+                "t={threads}"
+            );
+            assert_eq!(
+                s.stretch_sampled_threads(&g, 300, 9, threads),
+                base_sampled,
+                "t={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Flat CSR adjacency shared by the distance engine and the netsim
+//! executors.
+//!
+//! [`Graph`] stores adjacency in edge-insertion order; both the simulator
+//! and the distance engine need each node's neighbor list **sorted
+//! ascending** (the determinism contract: `Ctx::neighbors` is sorted,
+//! `Ctx::send` binary searches it, and the engine's traversal order is a
+//! pure function of the layout). [`CsrAdjacency`] lays the data out as two
+//! flat arrays (offsets + targets), built once and shared freely — the
+//! replacement for the `Vec<Vec<NodeId>>` tables that used to be rebuilt
+//! per executor run and per stretch-verification source.
+
+use crate::edgeset::EdgeSet;
+use crate::graph::{Graph, NodeId};
+
+/// Sorted neighbor lists in compressed sparse row layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists, each run sorted ascending.
+    targets: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Builds the sorted CSR adjacency of `graph`.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0u32);
+        for v in graph.nodes() {
+            let start = targets.len();
+            targets.extend(graph.neighbor_ids(v));
+            targets[start..].sort_unstable();
+            offsets.push(u32::try_from(targets.len()).expect("graph fits u32 half-edges"));
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Builds the sorted CSR adjacency of the subgraph of `graph` induced
+    /// by the edges in `set` (on the full vertex set).
+    ///
+    /// One counting pass over the set plus a scatter; the per-node runs are
+    /// then sorted so the layout is identical to what
+    /// [`CsrAdjacency::from_graph`] would produce on the materialized
+    /// subgraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` ranges over a different edge universe than `graph`.
+    pub fn from_edge_set(graph: &Graph, set: &EdgeSet) -> Self {
+        assert_eq!(
+            set.universe(),
+            graph.edge_count(),
+            "edge set built for a different graph"
+        );
+        let n = graph.node_count();
+        let mut degree = vec![0u32; n];
+        for e in set.iter() {
+            let (a, b) = graph.endpoints(e);
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc = acc.checked_add(d).expect("graph fits u32 half-edges");
+            offsets.push(acc);
+        }
+        let mut targets = vec![NodeId(0); acc as usize];
+        // Reuse `degree` as per-node write cursors.
+        let cursor = &mut degree;
+        cursor.fill(0);
+        for e in set.iter() {
+            let (a, b) = graph.endpoints(e);
+            let ia = offsets[a.index()] + cursor[a.index()];
+            targets[ia as usize] = b;
+            cursor[a.index()] += 1;
+            let ib = offsets[b.index()] + cursor[b.index()];
+            targets[ib as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count())
+            .map(|v| self.degree(NodeId(v as u32)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn matches_graph_adjacency_sorted() {
+        let g = generators::erdos_renyi_gnm(50, 120, 3);
+        let csr = CsrAdjacency::from_graph(&g);
+        assert_eq!(csr.node_count(), 50);
+        for v in g.nodes() {
+            let mut expect: Vec<NodeId> = g.neighbor_ids(v).collect();
+            expect.sort_unstable();
+            assert_eq!(csr.neighbors(v), expect.as_slice(), "node {v}");
+            assert_eq!(csr.degree(v), g.degree(v));
+        }
+        assert_eq!(csr.max_degree(), g.max_degree());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrAdjacency::from_graph(&Graph::empty(0));
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.max_degree(), 0);
+    }
+
+    #[test]
+    fn star_hub_sees_all_leaves() {
+        let g = generators::star(1000);
+        let csr = CsrAdjacency::from_graph(&g);
+        assert_eq!(csr.degree(NodeId(0)), 999);
+        assert!(csr.neighbors(NodeId(0)).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn edge_set_full_matches_from_graph() {
+        let g = generators::erdos_renyi_gnm(60, 180, 5);
+        let full = CsrAdjacency::from_edge_set(&g, &EdgeSet::full(&g));
+        assert_eq!(full, CsrAdjacency::from_graph(&g));
+    }
+
+    #[test]
+    fn edge_set_subgraph_keeps_only_selected_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let mut s = EdgeSet::new(&g);
+        for (e, u, v) in g.edges() {
+            if !(u == NodeId(0) && v == NodeId(3)) {
+                s.insert(e);
+            }
+        }
+        let csr = CsrAdjacency::from_edge_set(&g, &s);
+        assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(csr.neighbors(NodeId(3)), &[NodeId(2)]);
+        assert_eq!(csr.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_edge_set_has_isolated_nodes() {
+        let g = generators::cycle(10);
+        let csr = CsrAdjacency::from_edge_set(&g, &EdgeSet::new(&g));
+        assert_eq!(csr.node_count(), 10);
+        for v in g.nodes() {
+            assert!(csr.neighbors(v).is_empty());
+        }
+    }
+}

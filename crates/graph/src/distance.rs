@@ -1,23 +1,33 @@
 //! Exact and sampled distance computations.
 //!
 //! The experiments compare distances in a spanner against distances in the
-//! host graph for many pairs; this module provides the machinery: exact APSP
-//! via repeated BFS (fine up to a few thousand nodes), seeded pair sampling
-//! for larger graphs, eccentricities and diameter (exact and the classic
-//! two-sweep lower bound).
+//! host graph for many pairs; this module provides the machinery: exact APSP,
+//! seeded pair sampling for larger graphs, eccentricities and diameter
+//! (exact and the classic two-sweep lower bound). The heavy lifting routes
+//! through the [`DistanceEngine`] (flat CSR + 64-way bit-parallel BFS,
+//! optionally threaded); the original one-BFS-per-source code paths are kept
+//! as `*_reference` functions for the parity suite.
+
+use std::sync::Mutex;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::edgeset::EdgeSet;
+use crate::engine::{BfsScratch, DistanceEngine, MsBfsScratch};
 use crate::graph::{Graph, NodeId};
+use crate::pool::{chunk_range, run_workers};
 use crate::traversal::{bfs_distances, bfs_distances_in_subgraph};
-use crate::weighted::{dijkstra, dijkstra_in_subgraph, WeightedGraph, W_UNREACHABLE};
+use crate::weighted::{
+    dijkstra, dijkstra_in_adjacency, subgraph_adjacency, WeightedGraph, W_UNREACHABLE,
+};
 
 /// All-pairs shortest path distances, `u32::MAX` for unreachable pairs.
 ///
-/// Runs `n` BFS passes: O(n(n+m)) time, O(n²) space. Intended for
-/// verification on graphs up to a few thousand nodes.
+/// O(n(n+m)/64) traversal work via the bit-parallel engine, O(n²) space.
+/// The quadratic matrix is what bounds the feasible size; use
+/// [`DistanceEngine`] directly (e.g. [`DistanceEngine::eccentricities`])
+/// when full rows are not needed.
 #[derive(Debug, Clone)]
 pub struct Apsp {
     n: usize,
@@ -28,8 +38,24 @@ pub struct Apsp {
 pub const UNREACHABLE: u32 = u32::MAX;
 
 impl Apsp {
-    /// Computes APSP on `g` by repeated BFS.
+    /// Computes APSP on `g` via the single-threaded distance engine.
     pub fn new(g: &Graph) -> Self {
+        Apsp::with_threads(g, 1)
+    }
+
+    /// Computes APSP with the engine fanned out over `threads` workers.
+    /// The matrix is identical at every thread count.
+    pub fn with_threads(g: &Graph, threads: usize) -> Self {
+        let engine = DistanceEngine::new(g).with_threads(threads);
+        Apsp {
+            n: g.node_count(),
+            dist: engine.apsp_matrix(),
+        }
+    }
+
+    /// The original one-BFS-per-source construction, kept as the reference
+    /// implementation for the engine parity suite.
+    pub fn new_reference(g: &Graph) -> Self {
         let n = g.node_count();
         let mut dist = vec![UNREACHABLE; n * n];
         for s in g.nodes() {
@@ -105,12 +131,42 @@ impl StretchBound {
         StretchBound { alpha, beta }
     }
 
-    /// The largest spanner distance the bound allows for base distance `d`.
+    /// Whether spanner distance `in_spanner` satisfies the bound for base
+    /// distance `d`.
+    ///
+    /// When α is integral or a small rational p/q (q ≤ 64 — covers every
+    /// (2k−1)- and (α, β)-bound the suite checks), the comparison is exact
+    /// integer arithmetic in `u128`: `in_spanner · q ≤ p · d + β · q`.
+    /// Distances near 2⁵³ are not representable in `f64`, so the float path
+    /// would silently accept violations there. The 1e-9 slack survives only
+    /// as the fractional-α fallback.
     fn allows(&self, d: u64, in_spanner: u64) -> bool {
-        // Floating-point slack only hurts when α is fractional; exact
-        // integer comparison otherwise.
+        if let Some((num, den)) = rational_alpha(self.alpha) {
+            return (in_spanner as u128) * (den as u128)
+                <= (num as u128) * (d as u128) + (self.beta as u128) * (den as u128);
+        }
         in_spanner as f64 <= self.alpha * d as f64 + self.beta as f64 + 1e-9
     }
+}
+
+/// Recovers α as an exactly-representable rational `num / den` with
+/// `den ≤ 64`, if possible. The round-trip check guarantees the rational
+/// equals α bit-for-bit, so the exact path never changes a verdict the
+/// real-valued bound would give.
+fn rational_alpha(alpha: f64) -> Option<(u64, u64)> {
+    if !alpha.is_finite() || alpha < 1.0 {
+        return None;
+    }
+    for den in 1..=64u64 {
+        let scaled = alpha * den as f64;
+        if scaled.fract() == 0.0 && scaled <= u64::MAX as f64 {
+            let num = scaled as u64;
+            if num as f64 / den as f64 == alpha {
+                return Some((num, den));
+            }
+        }
+    }
+    None
 }
 
 /// The witness returned when a spanner violates its claimed stretch.
@@ -147,13 +203,101 @@ impl std::fmt::Display for StretchViolation {
 /// Verifies the exact stretch guarantee of `spanner` against every
 /// connected pair of `g`: `d_S(u, v) ≤ α · d_G(u, v) + β`.
 ///
-/// Runs one BFS per node in each graph — O(n(n+m)) — the shared
+/// Routes through the bit-parallel distance engine (64 sources per
+/// traversal in both the host graph and the spanner subgraph) — the shared
 /// replacement for the per-test ad-hoc distance loops in the integration
 /// suites. Returns the first violating pair (lowest `u`, then `v`) as a
 /// witness, `Ok(())` if the guarantee holds everywhere. Pairs disconnected
 /// in `g` impose no requirement; pairs connected in `g` but not in the
 /// spanner are violations.
 pub fn verify_stretch_exact(
+    g: &Graph,
+    spanner: &EdgeSet,
+    bound: StretchBound,
+) -> Result<(), StretchViolation> {
+    verify_stretch_exact_threads(g, spanner, bound, 1)
+}
+
+/// [`verify_stretch_exact`] with the source batches fanned out over
+/// `threads` workers. Each worker scans a contiguous ascending range of
+/// sources and records its own first violation; the global answer is the
+/// first across workers in range order, so the witness — like the verdict —
+/// is identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn verify_stretch_exact_threads(
+    g: &Graph,
+    spanner: &EdgeSet,
+    bound: StretchBound,
+    threads: usize,
+) -> Result<(), StretchViolation> {
+    assert!(threads >= 1, "need at least one worker thread");
+    let n = g.node_count();
+    if n < 2 {
+        return Ok(());
+    }
+    let host = DistanceEngine::new(g);
+    let sub = DistanceEngine::for_subgraph(g, spanner);
+    let nbatches = n.div_ceil(64).max(threads.min(n));
+    let t = threads.min(nbatches);
+    let batch_cap = chunk_range(n, nbatches, 0).len();
+    let mut firsts: Vec<Option<StretchViolation>> = vec![None; t];
+    {
+        let slots: Vec<Mutex<&mut Option<StretchViolation>>> =
+            firsts.iter_mut().map(Mutex::new).collect();
+        run_workers(t, |w| {
+            let mut slot = slots[w].lock().expect("worker slot");
+            let mut host_scratch = MsBfsScratch::new(n);
+            let mut sub_scratch = MsBfsScratch::new(n);
+            let mut host_rows = vec![UNREACHABLE; batch_cap * n];
+            let mut sub_rows = vec![UNREACHABLE; batch_cap * n];
+            'batches: for b in chunk_range(nbatches, t, w) {
+                let r = chunk_range(n, nbatches, b);
+                let sources: Vec<NodeId> = (r.start as u32..r.end as u32).map(NodeId).collect();
+                let rows = sources.len() * n;
+                host.batch_distances_into(&sources, &mut host_scratch, &mut host_rows[..rows]);
+                sub.batch_distances_into(&sources, &mut sub_scratch, &mut sub_rows[..rows]);
+                for (i, &u) in sources.iter().enumerate() {
+                    let dg = &host_rows[i * n..(i + 1) * n];
+                    let ds = &sub_rows[i * n..(i + 1) * n];
+                    for v in (u.index() + 1)..n {
+                        let base = dg[v];
+                        if base == UNREACHABLE {
+                            continue;
+                        }
+                        let witness = |in_spanner| StretchViolation {
+                            u,
+                            v: NodeId(v as u32),
+                            base: base as u64,
+                            in_spanner,
+                        };
+                        match ds[v] {
+                            s if s != UNREACHABLE && bound.allows(base as u64, s as u64) => {}
+                            s if s != UNREACHABLE => {
+                                **slot = Some(witness(Some(s as u64)));
+                                break 'batches;
+                            }
+                            _ => {
+                                **slot = Some(witness(None));
+                                break 'batches;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    match firsts.into_iter().flatten().next() {
+        Some(violation) => Err(violation),
+        None => Ok(()),
+    }
+}
+
+/// The original one-BFS-per-source verifier over `Vec<Vec<NodeId>>`
+/// adjacency, kept as the reference implementation for the parity suite.
+pub fn verify_stretch_exact_reference(
     g: &Graph,
     spanner: &EdgeSet,
     bound: StretchBound,
@@ -182,15 +326,16 @@ pub fn verify_stretch_exact(
 
 /// Weighted counterpart of [`verify_stretch_exact`]: one Dijkstra per node
 /// in the host graph and in the spanner subgraph, distances in total edge
-/// weight.
+/// weight. The subgraph adjacency is built once, not per source.
 pub fn verify_stretch_exact_weighted(
     g: &WeightedGraph,
     spanner: &EdgeSet,
     bound: StretchBound,
 ) -> Result<(), StretchViolation> {
+    let sub_adj = subgraph_adjacency(g, spanner);
     for u in g.graph().nodes() {
         let dg = dijkstra(g, u);
-        let ds = dijkstra_in_subgraph(g, spanner, u);
+        let ds = dijkstra_in_adjacency(&sub_adj, u);
         for v in (u.index() + 1)..g.node_count() {
             let base = dg[v];
             if base == W_UNREACHABLE {
@@ -217,13 +362,11 @@ pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
     bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
 }
 
-/// Exact diameter by n BFS runs; `None` for graphs with < 2 nodes.
-/// For disconnected graphs, returns the max eccentricity over components.
+/// Exact diameter via the bit-parallel engine (64 sources per traversal,
+/// no distance matrix); `None` for graphs with < 2 nodes. For disconnected
+/// graphs, returns the max eccentricity over components.
 pub fn diameter_exact(g: &Graph) -> Option<u32> {
-    if g.node_count() < 2 {
-        return None;
-    }
-    g.nodes().map(|v| eccentricity(g, v)).max()
+    DistanceEngine::new(g).diameter()
 }
 
 /// Two-sweep diameter lower bound: BFS from `start`, then BFS from the
@@ -285,14 +428,17 @@ pub fn sample_pairs(g: &Graph, count: usize, seed: u64) -> Vec<SampledPair> {
             _ => by_source.push((a, vec![b])),
         }
     }
+    let engine = DistanceEngine::new(g);
+    let mut scratch = BfsScratch::new(n);
+    let mut d = vec![UNREACHABLE; n];
     for (s, targets) in by_source {
-        let d = bfs_distances(g, s);
+        engine.distances_into(s, &mut scratch, &mut d);
         for t in targets {
-            if let Some(x) = d[t.index()] {
+            if d[t.index()] != UNREACHABLE {
                 out.push(SampledPair {
                     u: s,
                     v: t,
-                    dist: x,
+                    dist: d[t.index()],
                 });
             }
         }
@@ -404,6 +550,69 @@ mod tests {
         // The same gap expressed additively.
         assert!(verify_stretch_exact(&g, &span, StretchBound::additive(7)).is_ok());
         assert!(verify_stretch_exact(&g, &span, StretchBound::additive(6)).is_err());
+    }
+
+    #[test]
+    fn apsp_matches_reference() {
+        let g = crate::generators::erdos_renyi_gnm(80, 160, 5);
+        let a = Apsp::new(&g);
+        let r = Apsp::new_reference(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(a.dist(u, v), r.dist(u, v));
+            }
+        }
+        assert_eq!(a.diameter(), r.diameter());
+        let t = Apsp::with_threads(&g, 4);
+        assert_eq!(
+            t.dist(NodeId(17), NodeId(63)),
+            a.dist(NodeId(17), NodeId(63))
+        );
+    }
+
+    #[test]
+    fn verify_stretch_threads_identical_witness() {
+        let g = cycle(9);
+        let mut span = EdgeSet::full(&g);
+        span.remove(g.find_edge(NodeId(0), NodeId(1)).unwrap());
+        for threads in 1..=8usize {
+            let bound = StretchBound::multiplicative(7.0);
+            let err = verify_stretch_exact_threads(&g, &span, bound, threads).unwrap_err();
+            assert_eq!(
+                (err.u, err.v, err.base, err.in_spanner),
+                (NodeId(0), NodeId(1), 1, Some(8)),
+                "threads={threads}"
+            );
+            let ok = StretchBound::multiplicative(8.0);
+            assert!(verify_stretch_exact_threads(&g, &span, ok, threads).is_ok());
+        }
+    }
+
+    #[test]
+    fn allows_is_exact_for_integral_alpha_near_2_pow_53() {
+        let b = StretchBound::multiplicative(3.0);
+        let d = 1u64 << 53;
+        assert!(b.allows(d, 3 * d));
+        // One hop over the bound rounds back to 3·2^53 in f64, so the old
+        // float comparison accepted it; only exact integers catch it.
+        assert!(!b.allows(d, 3 * d + 1));
+        assert!(!b.allows(d, 3 * d + 5));
+        let add = StretchBound::additive(2);
+        assert!(add.allows(d, d + 2));
+        assert!(!add.allows(d, d + 3));
+    }
+
+    #[test]
+    fn allows_handles_small_rationals_exactly() {
+        let b = StretchBound::mixed(2.5, 1);
+        assert!(b.allows(2, 6)); // 2.5 · 2 + 1 = 6 exactly
+        assert!(!b.allows(2, 7));
+        assert_eq!(rational_alpha(2.5), Some((5, 2)));
+        assert_eq!(rational_alpha(1.0), Some((1, 1)));
+        assert_eq!(rational_alpha(7.0), Some((7, 1)));
+        assert!(rational_alpha(std::f64::consts::PI).is_none());
+        // The fractional fallback still works.
+        assert!(StretchBound::multiplicative(std::f64::consts::PI).allows(3, 9));
     }
 
     #[test]

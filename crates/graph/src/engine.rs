@@ -1,0 +1,692 @@
+//! The flat-frontier distance engine.
+//!
+//! Every experiment and conformance check ultimately reduces to "many BFS
+//! passes over the same graph (or spanner subgraph)". The naive shape — one
+//! `VecDeque` BFS over `Vec<Option<u32>>` per source, rebuilding the
+//! subgraph adjacency each time — is what capped verification at a few
+//! thousand nodes. [`DistanceEngine`] replaces it with:
+//!
+//! 1. a [`CsrAdjacency`] built **once** per graph or subgraph,
+//! 2. level-synchronous frontier BFS over flat `u32` distance arrays with a
+//!    reusable visited bitmap (no `Option`, no `VecDeque`, no per-source
+//!    allocation),
+//! 3. 64-way **bit-parallel multi-source BFS**: one `u64` seen/frontier
+//!    word per node lets a single traversal serve 64 sources at once, so
+//!    APSP and stretch verification touch each edge once per 64 sources
+//!    instead of once per source,
+//! 4. fan-out of source batches across a [`pool`](crate::pool) worker team,
+//!    with **thread-count-independent results**: every output cell is a
+//!    pure function of (graph, source index), and workers write disjoint
+//!    regions determined by arithmetic, never by timing.
+//!
+//! The original single-source functions in [`traversal`](crate::traversal)
+//! remain as the reference implementations; `tests/engine_parity.rs` keeps
+//! the engine byte-identical to them.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crate::csr::CsrAdjacency;
+use crate::distance::UNREACHABLE;
+use crate::edgeset::EdgeSet;
+use crate::graph::{Graph, NodeId};
+use crate::pool::{chunk_range, run_workers};
+
+/// A reusable distance-computation engine over a fixed adjacency.
+///
+/// Build once per graph (or per spanner subgraph via
+/// [`DistanceEngine::for_subgraph`]), then run as many traversals as
+/// needed; the engine itself is immutable, so one instance can be shared
+/// across worker threads.
+#[derive(Debug, Clone)]
+pub struct DistanceEngine {
+    csr: CsrAdjacency,
+    threads: usize,
+}
+
+/// Reusable scratch for single-source flat BFS: a visited bitmap plus the
+/// current and next frontier lists.
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    seen: Vec<u64>,
+    cur: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    /// Scratch for an `n`-node engine.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            seen: vec![0u64; n.div_ceil(64)],
+            cur: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+}
+
+/// Reusable scratch for 64-way bit-parallel multi-source BFS: one seen /
+/// current / next `u64` word per node plus the frontier node lists.
+#[derive(Debug, Clone)]
+pub struct MsBfsScratch {
+    seen: Vec<u64>,
+    cur: Vec<u64>,
+    next: Vec<u64>,
+    frontier: Vec<NodeId>,
+    next_frontier: Vec<NodeId>,
+    /// Node-major level buffer (`64 * n`, lazily sized) for the batched
+    /// row entry points: levels land here contiguously per node during the
+    /// traversal, then a cache-tiled transpose streams them into the
+    /// row-major output — much cheaper than scattering 64 stride-`n`
+    /// writes per node while the BFS runs.
+    levels: Vec<u32>,
+}
+
+impl MsBfsScratch {
+    /// Scratch for an `n`-node engine.
+    pub fn new(n: usize) -> Self {
+        MsBfsScratch {
+            seen: vec![0u64; n],
+            cur: vec![0u64; n],
+            next: vec![0u64; n],
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            levels: Vec::new(),
+        }
+    }
+}
+
+/// Result of [`DistanceEngine::nearest_sources`]: flat-array counterpart of
+/// [`MultiSourceBfs`](crate::traversal::MultiSourceBfs).
+#[derive(Debug, Clone)]
+pub struct MultiSourceFlat {
+    /// `dist[v]` is the distance from `v` to its nearest source;
+    /// [`UNREACHABLE`] if no source reaches `v`.
+    pub dist: Vec<u32>,
+    /// `source[v]` is the attributed nearest source id (minimum id among
+    /// equidistant sources); `u32::MAX` if unreached.
+    pub source: Vec<u32>,
+}
+
+impl DistanceEngine {
+    /// An engine over the full adjacency of `g` (single-threaded until
+    /// [`DistanceEngine::with_threads`]).
+    pub fn new(g: &Graph) -> Self {
+        DistanceEngine::from_csr(CsrAdjacency::from_graph(g))
+    }
+
+    /// An engine over the subgraph of `g` induced by the edges in `span`.
+    pub fn for_subgraph(g: &Graph, span: &EdgeSet) -> Self {
+        DistanceEngine::from_csr(CsrAdjacency::from_edge_set(g, span))
+    }
+
+    /// An engine over an already-built adjacency.
+    pub fn from_csr(csr: CsrAdjacency) -> Self {
+        DistanceEngine { csr, threads: 1 }
+    }
+
+    /// Sets the worker count for the batched entry points. Results are
+    /// identical at every thread count; only wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker count actually used for `work_items` independent pieces:
+    /// never more than the configured threads, the items, or the machine's
+    /// available cores — oversubscribing CPU-bound workers only adds
+    /// scratch-allocation and scheduling overhead, and results do not
+    /// depend on the fan-out.
+    fn fanout(&self, work_items: usize) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        self.threads.min(work_items).min(cores).max(1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    /// The underlying sorted CSR adjacency.
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
+    }
+
+    /// Single-source distances from `src` ([`UNREACHABLE`] where
+    /// disconnected). Allocates its own scratch; for repeated calls use
+    /// [`DistanceEngine::distances_into`].
+    pub fn distances(&self, src: NodeId) -> Vec<u32> {
+        let mut out = vec![UNREACHABLE; self.node_count()];
+        let mut scratch = BfsScratch::new(self.node_count());
+        self.distances_into(src, &mut scratch, &mut out);
+        out
+    }
+
+    /// Single-source flat-frontier BFS from `src` into `out`
+    /// (length `n`, overwritten entirely), reusing `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` or `scratch` were sized for a different engine.
+    pub fn distances_into(&self, src: NodeId, scratch: &mut BfsScratch, out: &mut [u32]) {
+        let n = self.node_count();
+        assert_eq!(out.len(), n, "output sized for a different engine");
+        out.fill(UNREACHABLE);
+        scratch.seen.fill(0);
+        scratch.cur.clear();
+        scratch.next.clear();
+        scratch.seen[src.index() / 64] |= 1u64 << (src.index() % 64);
+        out[src.index()] = 0;
+        scratch.cur.push(src);
+        let mut d = 0u32;
+        while !scratch.cur.is_empty() {
+            d += 1;
+            for &u in &scratch.cur {
+                for &v in self.csr.neighbors(u) {
+                    let (w, b) = (v.index() / 64, v.index() % 64);
+                    if scratch.seen[w] & (1u64 << b) == 0 {
+                        scratch.seen[w] |= 1u64 << b;
+                        out[v.index()] = d;
+                        scratch.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            scratch.next.clear();
+        }
+    }
+
+    /// Core 64-way bit-parallel BFS: source `i` of `sources` owns bit `i`
+    /// of every word. `visit(v, bits, level)` fires once per node per level
+    /// with the set of sources that first reach `v` at that level.
+    fn ms_bfs<F>(&self, sources: &[NodeId], scratch: &mut MsBfsScratch, mut visit: F)
+    where
+        F: FnMut(usize, u64, u32),
+    {
+        assert!(sources.len() <= 64, "at most 64 sources per batch");
+        let MsBfsScratch {
+            seen,
+            cur,
+            next,
+            frontier,
+            next_frontier,
+            ..
+        } = scratch;
+        assert_eq!(seen.len(), self.node_count(), "scratch sized for engine");
+        seen.fill(0);
+        cur.fill(0);
+        next.fill(0);
+        frontier.clear();
+        next_frontier.clear();
+        for (i, s) in sources.iter().enumerate() {
+            if seen[s.index()] == 0 {
+                frontier.push(*s);
+            }
+            seen[s.index()] |= 1u64 << i;
+            cur[s.index()] |= 1u64 << i;
+        }
+        for &s in frontier.iter() {
+            visit(s.index(), cur[s.index()], 0);
+        }
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            for &u in frontier.iter() {
+                let w = cur[u.index()];
+                cur[u.index()] = 0; // consumed; commit refills next level's words
+                for &v in self.csr.neighbors(u) {
+                    let t = w & !seen[v.index()];
+                    if t != 0 {
+                        if next[v.index()] == 0 {
+                            next_frontier.push(v);
+                        }
+                        next[v.index()] |= t;
+                    }
+                }
+            }
+            // Commit: the accumulate pass masked bits routed through
+            // already-seen nodes, but a node can collect the same new bit
+            // from several parents — the word is already the union. Nodes
+            // whose accumulated bits all went stale stay off the frontier.
+            frontier.clear();
+            for &v in next_frontier.iter() {
+                let new = next[v.index()] & !seen[v.index()];
+                next[v.index()] = 0;
+                if new != 0 {
+                    seen[v.index()] |= new;
+                    cur[v.index()] = new;
+                    visit(v.index(), new, level);
+                    frontier.push(v);
+                }
+            }
+            next_frontier.clear();
+        }
+    }
+
+    /// Distances from up to 64 `sources` at once into `out` (row-major:
+    /// `out[i * n + v]` is the distance from `sources[i]` to `v`;
+    /// overwritten entirely), reusing `scratch`. One bit-parallel traversal
+    /// serves the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() > 64` or the buffer sizes do not match.
+    pub fn batch_distances_into(
+        &self,
+        sources: &[NodeId],
+        scratch: &mut MsBfsScratch,
+        out: &mut [u32],
+    ) {
+        let n = self.node_count();
+        let k = sources.len();
+        assert_eq!(out.len(), k * n, "row buffer size mismatch");
+        // Record levels node-major (64 contiguous slots per node) so the
+        // traversal's writes stay local; stale slots are masked by `seen`
+        // below, so the buffer needs no clearing between batches.
+        let mut levels = std::mem::take(&mut scratch.levels);
+        if levels.len() != 64 * n {
+            // Zeroed (lazily mapped) allocation — stale values are fine.
+            levels = vec![0u32; 64 * n];
+        }
+        self.ms_bfs(sources, scratch, |v, mut bits, level| {
+            let row = &mut levels[v * 64..v * 64 + 64];
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                row[i] = level;
+            }
+        });
+        // Tiled transpose to the row-major output: the level tile stays in
+        // cache across the `k` row passes and every output write is part of
+        // a short contiguous run. `seen` still holds the final reachability
+        // words, masking slots this batch never wrote.
+        const TILE: usize = 256;
+        let mut v0 = 0;
+        while v0 < n {
+            let v1 = (v0 + TILE).min(n);
+            let seen_tile = &scratch.seen[v0..v1];
+            let levels_tile = &levels[v0 * 64..v1 * 64];
+            for (i, row) in out.chunks_exact_mut(n).enumerate() {
+                for ((dst, &s), lv) in row[v0..v1]
+                    .iter_mut()
+                    .zip(seen_tile)
+                    .zip(levels_tile.chunks_exact(64))
+                {
+                    *dst = if s >> i & 1 == 1 { lv[i] } else { UNREACHABLE };
+                }
+            }
+            v0 = v1;
+        }
+        scratch.levels = levels;
+    }
+
+    /// Distance rows for arbitrarily many `sources` (row-major,
+    /// `sources.len() * n`), batched 64 ways and fanned out across the
+    /// engine's worker threads. Row `i` depends only on `sources[i]`, so
+    /// the result is identical at every thread count.
+    pub fn many_distances(&self, sources: &[NodeId]) -> Vec<u32> {
+        let n = self.node_count();
+        let len = sources.len();
+        // Zeroed (lazily mapped) allocation: every cell is overwritten by
+        // its batch's transpose, so no sentinel pre-fill is needed.
+        let mut out = vec![0u32; len * n];
+        if len == 0 || n == 0 {
+            return out;
+        }
+        // Full-width batches: 64 sources each, so every traversal carries a
+        // full word of bit-parallel work. Parallelism comes from spreading
+        // whole batches across workers; threads beyond ⌈len/64⌉ idle rather
+        // than paying for narrower (more numerous) traversals.
+        let nbatches = len.div_ceil(64);
+        let t = self.fanout(nbatches);
+        if t <= 1 {
+            let mut scratch = MsBfsScratch::new(n);
+            for b in 0..nbatches {
+                let r = chunk_range(len, nbatches, b);
+                self.batch_distances_into(
+                    &sources[r.clone()],
+                    &mut scratch,
+                    &mut out[r.start * n..r.end * n],
+                );
+            }
+            return out;
+        }
+        // Carve the output into one contiguous region per worker, split at
+        // batch boundaries; each slot is locked exactly once by its worker.
+        let mut slots: Vec<Mutex<(std::ops::Range<usize>, &mut [u32])>> = Vec::with_capacity(t);
+        let mut rest: &mut [u32] = &mut out;
+        let mut consumed = 0usize;
+        for w in 0..t {
+            let batches = chunk_range(nbatches, t, w);
+            let hi = chunk_range(len, nbatches, batches.end - 1).end;
+            let (region, tail) = rest.split_at_mut((hi - consumed) * n);
+            consumed = hi;
+            rest = tail;
+            slots.push(Mutex::new((batches, region)));
+        }
+        run_workers(t, |w| {
+            let mut guard = slots[w].lock().expect("worker slot");
+            let (batches, region) = &mut *guard;
+            let base = chunk_range(len, nbatches, batches.start).start;
+            let mut scratch = MsBfsScratch::new(n);
+            for b in batches.clone() {
+                let r = chunk_range(len, nbatches, b);
+                self.batch_distances_into(
+                    &sources[r.clone()],
+                    &mut scratch,
+                    &mut region[(r.start - base) * n..(r.end - base) * n],
+                );
+            }
+        });
+        out
+    }
+
+    /// The full APSP matrix (row-major `n * n`), equivalent to
+    /// [`Apsp::new`](crate::distance::Apsp::new) but 64 sources per
+    /// traversal and fanned out across the worker threads.
+    pub fn apsp_matrix(&self) -> Vec<u32> {
+        let sources: Vec<NodeId> = (0..self.node_count() as u32).map(NodeId).collect();
+        self.many_distances(&sources)
+    }
+
+    /// Eccentricity of every node — the per-source **maximum** BFS level —
+    /// without materializing any distance rows, so exact diameters stay
+    /// feasible far beyond APSP's O(n²) memory.
+    pub fn eccentricities(&self) -> Vec<u32> {
+        let n = self.node_count();
+        let mut out = vec![0u32; n];
+        if n == 0 {
+            return out;
+        }
+        let nbatches = n.div_ceil(64);
+        let t = self.fanout(nbatches);
+        let mut slots: Vec<Mutex<(std::ops::Range<usize>, &mut [u32])>> = Vec::with_capacity(t);
+        let mut rest: &mut [u32] = &mut out;
+        let mut consumed = 0usize;
+        for w in 0..t {
+            let batches = chunk_range(nbatches, t, w);
+            let hi = chunk_range(n, nbatches, batches.end - 1).end;
+            let (region, tail) = rest.split_at_mut(hi - consumed);
+            consumed = hi;
+            rest = tail;
+            slots.push(Mutex::new((batches, region)));
+        }
+        run_workers(t, |w| {
+            let mut guard = slots[w].lock().expect("worker slot");
+            let (batches, region) = &mut *guard;
+            let base = chunk_range(n, nbatches, batches.start).start;
+            let mut scratch = MsBfsScratch::new(n);
+            for b in batches.clone() {
+                let r = chunk_range(n, nbatches, b);
+                let sources: Vec<NodeId> = (r.start as u32..r.end as u32).map(NodeId).collect();
+                let ecc = &mut region[r.start - base..r.end - base];
+                // Levels only grow, so the last write per bit is the max.
+                self.ms_bfs(&sources, &mut scratch, |_, mut bits, level| {
+                    while bits != 0 {
+                        let i = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        ecc[i] = level;
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Exact diameter (max eccentricity over all nodes; for disconnected
+    /// graphs, over all components). `None` for graphs with < 2 nodes,
+    /// matching [`diameter_exact`](crate::distance::diameter_exact).
+    pub fn diameter(&self) -> Option<u32> {
+        if self.node_count() < 2 {
+            return None;
+        }
+        self.eccentricities().into_iter().max()
+    }
+
+    /// Length of the shortest cycle, or `None` for a forest — the engine
+    /// counterpart of [`girth`](crate::girth::girth): one pruned flat BFS
+    /// per source, fanned out across the worker threads.
+    ///
+    /// Workers share the current best cycle length (an upper bound) purely
+    /// for pruning; pruning with any valid upper bound never changes the
+    /// final minimum, so the result is thread-count-independent.
+    pub fn girth(&self) -> Option<u32> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let best = AtomicU32::new(u32::MAX);
+        let t = self.fanout(n);
+        run_workers(t, |w| {
+            let mut dist = vec![u32::MAX; n];
+            let mut parent = vec![u32::MAX; n];
+            let mut cur: Vec<NodeId> = Vec::new();
+            let mut next: Vec<NodeId> = Vec::new();
+            let mut touched: Vec<u32> = Vec::new();
+            for s in chunk_range(n, t, w) {
+                debug_assert!(touched.is_empty());
+                let s = NodeId(s as u32);
+                dist[s.index()] = 0;
+                parent[s.index()] = u32::MAX;
+                touched.push(s.0);
+                cur.clear();
+                cur.push(s);
+                let mut d = 0u32;
+                while !cur.is_empty() {
+                    // Cycles through s found at depth >= best/2 cannot
+                    // improve on the shared bound.
+                    if 2 * d + 1 >= best.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for &u in &cur {
+                        for &v in self.csr.neighbors(u) {
+                            if v.0 == parent[u.index()] {
+                                continue; // the tree edge (simple graph)
+                            }
+                            if dist[v.index()] == u32::MAX {
+                                dist[v.index()] = d + 1;
+                                parent[v.index()] = u.0;
+                                touched.push(v.0);
+                                next.push(v);
+                            } else {
+                                let len = d + dist[v.index()] + 1;
+                                best.fetch_min(len, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    d += 1;
+                    std::mem::swap(&mut cur, &mut next);
+                    next.clear();
+                }
+                for &v in &touched {
+                    dist[v as usize] = u32::MAX;
+                }
+                touched.clear();
+            }
+        });
+        let g = best.into_inner();
+        (g != u32::MAX).then_some(g)
+    }
+
+    /// Multi-source BFS with the paper's minimum-id attribution rule —
+    /// the flat-array counterpart of
+    /// [`multi_source_bfs`](crate::traversal::multi_source_bfs), producing
+    /// identical distances and attributions.
+    pub fn nearest_sources(&self, sources: &[NodeId]) -> MultiSourceFlat {
+        let n = self.node_count();
+        let mut dist = vec![UNREACHABLE; n];
+        let mut source = vec![u32::MAX; n];
+        let mut frontier: Vec<NodeId> = Vec::new();
+        let mut sorted: Vec<NodeId> = sources.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &s in &sorted {
+            dist[s.index()] = 0;
+            source[s.index()] = s.0;
+            frontier.push(s);
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        let mut d = 0u32;
+        while !frontier.is_empty() {
+            d += 1;
+            // First pass: discover; keep the min-id source among frontier
+            // parents seen so far.
+            for &u in &frontier {
+                let su = source[u.index()];
+                for &v in self.csr.neighbors(u) {
+                    if dist[v.index()] == UNREACHABLE {
+                        dist[v.index()] = d;
+                        source[v.index()] = su;
+                        next.push(v);
+                    } else if dist[v.index()] == d && su < source[v.index()] {
+                        source[v.index()] = su;
+                    }
+                }
+            }
+            // Second pass: fix attribution against *all* parents, exactly
+            // like the reference (a node's best source may arrive via a
+            // parent that scanned it after a worse one).
+            for &v in &next {
+                let mut bst = source[v.index()];
+                for &u in self.csr.neighbors(v) {
+                    if dist[u.index()] == d - 1 && source[u.index()] < bst {
+                        bst = source[u.index()];
+                    }
+                }
+                source[v.index()] = bst;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+        }
+        MultiSourceFlat { dist, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::{bfs_distances, multi_source_bfs};
+
+    fn flat(expected: &[Option<u32>]) -> Vec<u32> {
+        expected.iter().map(|d| d.unwrap_or(UNREACHABLE)).collect()
+    }
+
+    #[test]
+    fn single_source_matches_reference() {
+        let g = generators::erdos_renyi_gnm(80, 200, 7);
+        let eng = DistanceEngine::new(&g);
+        for s in [NodeId(0), NodeId(41), NodeId(79)] {
+            assert_eq!(eng.distances(s), flat(&bfs_distances(&g, s)));
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_source_rows() {
+        let g = generators::connected_gnm(70, 210, 3);
+        let eng = DistanceEngine::new(&g);
+        let sources: Vec<NodeId> = (0..70).map(NodeId).collect();
+        let rows = eng.many_distances(&sources);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[i * 70..(i + 1) * 70], eng.distances(s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = generators::erdos_renyi_gnm(90, 180, 11); // disconnected bits too
+        let sources: Vec<NodeId> = (0..90).map(NodeId).collect();
+        let base = DistanceEngine::new(&g).many_distances(&sources);
+        let ecc1 = DistanceEngine::new(&g).eccentricities();
+        for threads in [2usize, 3, 8] {
+            let eng = DistanceEngine::new(&g).with_threads(threads);
+            assert_eq!(eng.many_distances(&sources), base, "threads={threads}");
+            assert_eq!(eng.eccentricities(), ecc1, "threads={threads}");
+            assert_eq!(eng.girth(), DistanceEngine::new(&g).girth());
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_share_a_row() {
+        let g = generators::cycle(12);
+        let eng = DistanceEngine::new(&g);
+        let rows = eng.many_distances(&[NodeId(3), NodeId(3), NodeId(7)]);
+        assert_eq!(rows[0..12], rows[12..24]);
+        assert_eq!(rows[12..24], eng.distances(NodeId(3))[..]);
+        assert_eq!(rows[24..36], eng.distances(NodeId(7))[..]);
+    }
+
+    #[test]
+    fn subgraph_engine_respects_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let mut s = EdgeSet::new(&g);
+        for (e, u, v) in g.edges() {
+            if !(u == NodeId(0) && v == NodeId(3)) {
+                s.insert(e);
+            }
+        }
+        let eng = DistanceEngine::for_subgraph(&g, &s);
+        assert_eq!(eng.distances(NodeId(0))[3], 3);
+        assert_eq!(DistanceEngine::new(&g).distances(NodeId(0))[3], 1);
+    }
+
+    #[test]
+    fn eccentricities_and_diameter() {
+        let g = generators::path(7);
+        let eng = DistanceEngine::new(&g);
+        assert_eq!(eng.eccentricities(), vec![6, 5, 4, 3, 4, 5, 6]);
+        assert_eq!(eng.diameter(), Some(6));
+        assert_eq!(DistanceEngine::new(&Graph::empty(1)).diameter(), None);
+        assert_eq!(DistanceEngine::new(&Graph::empty(0)).diameter(), None);
+    }
+
+    #[test]
+    fn girth_basics() {
+        assert_eq!(DistanceEngine::new(&generators::path(5)).girth(), None);
+        assert_eq!(DistanceEngine::new(&generators::cycle(9)).girth(), Some(9));
+        // Petersen graph: girth 5.
+        let outer = (0u32..5).map(|i| (i, (i + 1) % 5));
+        let inner = (0u32..5).map(|i| (5 + i, 5 + (i + 2) % 5));
+        let spokes = (0u32..5).map(|i| (i, i + 5));
+        let g = Graph::from_edges(10, outer.chain(inner).chain(spokes));
+        assert_eq!(DistanceEngine::new(&g).girth(), Some(5));
+    }
+
+    #[test]
+    fn nearest_sources_matches_reference() {
+        let g = generators::erdos_renyi_gnm(60, 150, 9);
+        let eng = DistanceEngine::new(&g);
+        let sources = [NodeId(50), NodeId(3), NodeId(17), NodeId(3)];
+        let got = eng.nearest_sources(&sources);
+        let want = multi_source_bfs(&g, &sources);
+        for v in g.nodes() {
+            assert_eq!(got.dist[v.index()], flat(&want.dist)[v.index()], "{v}");
+            assert_eq!(
+                got.source[v.index()],
+                want.source[v.index()].map_or(u32::MAX, |s| s.0),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let g = generators::cycle(5);
+        let eng = DistanceEngine::new(&g);
+        assert!(eng.many_distances(&[]).is_empty());
+        let none = eng.nearest_sources(&[]);
+        assert!(none.dist.iter().all(|&d| d == UNREACHABLE));
+        let empty = DistanceEngine::new(&Graph::empty(0));
+        assert!(empty.apsp_matrix().is_empty());
+        assert_eq!(empty.girth(), None);
+    }
+}

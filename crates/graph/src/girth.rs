@@ -11,10 +11,15 @@ use crate::graph::{EdgeId, Graph, NodeId};
 
 /// Length of the shortest cycle in `g`, or `None` if `g` is a forest.
 ///
-/// BFS from every vertex, tracking the incoming edge so that re-visiting a
-/// vertex of the current tree yields a cycle estimate; the standard
-/// O(n·m) exact algorithm for unweighted graphs.
+/// Delegates to the flat-frontier engine: one pruned BFS per vertex —
+/// the standard O(n·m) exact algorithm — over the shared CSR layout.
 pub fn girth(g: &Graph) -> Option<u32> {
+    crate::engine::DistanceEngine::new(g).girth()
+}
+
+/// The original `VecDeque`-based girth computation, kept as the reference
+/// implementation for the engine parity suite.
+pub fn girth_reference(g: &Graph) -> Option<u32> {
     let mut best: Option<u32> = None;
     let n = g.node_count();
     let mut dist = vec![u32::MAX; n];
@@ -126,6 +131,14 @@ mod tests {
         let spokes = (0u32..5).map(|i| (i, i + 5));
         let g = Graph::from_edges(10, outer.chain(inner).chain(spokes));
         assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn engine_girth_matches_reference_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = crate::generators::erdos_renyi_gnm(60, 40 + 15 * seed as usize, seed);
+            assert_eq!(girth(&g), girth_reference(&g), "seed {seed}");
+        }
     }
 
     #[test]

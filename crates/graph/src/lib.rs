@@ -11,6 +11,9 @@
 //! * [`distance`]: exact and sampled distance computations, eccentricities,
 //!   diameter, stretch evaluation helpers,
 //! * [`girth`] computation and [`components`] (union-find / connectivity),
+//! * [`engine`]: the flat-frontier, 64-way bit-parallel distance engine
+//!   all verification and experiment code routes through, backed by the
+//!   shared [`csr`] adjacency layout and the [`pool`] worker-team idiom,
 //! * [`weighted`]: positively weighted graphs with Dijkstra (for the
 //!   weighted Baswana–Sen row of Fig. 1).
 //!
@@ -28,17 +31,22 @@
 //! ```
 
 pub mod components;
+pub mod csr;
 pub mod distance;
 pub mod edgeset;
+pub mod engine;
 pub mod generators;
 pub mod girth;
 pub mod graph;
 pub mod metrics;
+pub mod pool;
 pub mod traversal;
 pub mod weighted;
 
+pub use csr::CsrAdjacency;
 pub use distance::{
     verify_stretch_exact, verify_stretch_exact_weighted, StretchBound, StretchViolation,
 };
 pub use edgeset::EdgeSet;
+pub use engine::DistanceEngine;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};

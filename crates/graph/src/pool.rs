@@ -1,0 +1,169 @@
+//! Shared threading idiom: barrier-parked worker pools.
+//!
+//! The netsim parallel executor established the pattern — spawn a scoped
+//! worker pool **once**, park the workers on a pair of round barriers, and
+//! release them with a stop flag when the run ends — so the steady-state
+//! loop never spawns threads. The distance engine needs the same idiom, so
+//! the reusable part lives here: [`RoundGate`] is the barrier pair + stop
+//! flag, and [`run_workers`] is the simpler fork-join shape for one-shot
+//! parallel regions (one spawn, one unit of work per worker).
+//!
+//! Determinism note: neither helper imposes an ordering by itself — callers
+//! keep results thread-count-independent by giving each worker a disjoint
+//! output region that is a pure function of the worker index.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// The round-synchronization core of a persistent barrier-parked pool:
+/// a start barrier, a finish barrier, and a stop flag.
+///
+/// Workers loop `while gate.worker_begin() { work(); gate.worker_end(); }`;
+/// the coordinator brackets each round with [`RoundGate::open`] /
+/// [`RoundGate::close`] and ends the run with [`RoundGate::shutdown`].
+#[derive(Debug)]
+pub struct RoundGate {
+    start: Barrier,
+    finish: Barrier,
+    stop: AtomicBool,
+}
+
+impl RoundGate {
+    /// A gate synchronizing `workers` worker threads with one coordinator.
+    pub fn new(workers: usize) -> Self {
+        RoundGate {
+            start: Barrier::new(workers + 1),
+            finish: Barrier::new(workers + 1),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Worker side: park until the coordinator opens the next round.
+    /// Returns `false` when the run is over and the worker should exit.
+    pub fn worker_begin(&self) -> bool {
+        self.start.wait();
+        !self.stop.load(Ordering::Acquire)
+    }
+
+    /// Worker side: signal that this worker finished the current round.
+    pub fn worker_end(&self) {
+        self.finish.wait();
+    }
+
+    /// Coordinator side: release the workers into the next round.
+    pub fn open(&self) {
+        self.start.wait();
+    }
+
+    /// Coordinator side: wait for every worker to finish the round.
+    pub fn close(&self) {
+        self.finish.wait();
+    }
+
+    /// Coordinator side: raise the stop flag and release the parked
+    /// workers so they observe it and exit.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.start.wait();
+    }
+}
+
+/// One-shot fork-join: runs `work(w)` for every worker index `w` in
+/// `0..threads` on scoped threads, returning when all are done.
+///
+/// `threads <= 1` runs inline with no spawn at all, so single-threaded
+/// callers pay nothing. The closure decides what worker `w` does — for
+/// deterministic results it should write only to an output region derived
+/// from `w`, never to shared state whose final value depends on timing.
+pub fn run_workers<F>(threads: usize, work: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 {
+        work(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let work = &work;
+            scope.spawn(move || work(w));
+        }
+    });
+}
+
+/// Splits `0..len` into `parts` contiguous chunks as evenly as possible;
+/// returns the half-open range of chunk `i`.
+///
+/// The first `len % parts` chunks get one extra element, so the split — and
+/// therefore any per-chunk output — is a pure function of `(len, parts, i)`
+/// regardless of which thread processes which chunk.
+pub fn chunk_range(len: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
+    debug_assert!(parts >= 1 && i < parts);
+    let base = len / parts;
+    let extra = len % parts;
+    let lo = i * base + i.min(extra);
+    let hi = lo + base + usize::from(i < extra);
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_workers_covers_all_indices() {
+        for threads in [1usize, 2, 5] {
+            let hits = AtomicUsize::new(0);
+            run_workers(threads, |w| {
+                assert!(w < threads);
+                hits.fetch_add(1 << (4 * w), Ordering::Relaxed);
+            });
+            let expect: usize = (0..threads).map(|w| 1usize << (4 * w)).sum();
+            assert_eq!(hits.load(Ordering::Relaxed), expect);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition() {
+        for len in [0usize, 1, 7, 64, 65, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for i in 0..parts {
+                    let r = chunk_range(len, parts, i);
+                    assert_eq!(r.start, prev_end, "len={len} parts={parts} i={i}");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, len);
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn round_gate_runs_rounds_and_shuts_down() {
+        let workers = 3usize;
+        let gate = RoundGate::new(workers);
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (gate, counter) = (&gate, &counter);
+                scope.spawn(move || {
+                    while gate.worker_begin() {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        gate.worker_end();
+                    }
+                });
+            }
+            for round in 1..=4usize {
+                gate.open();
+                gate.close();
+                assert_eq!(counter.load(Ordering::Relaxed), round * workers);
+            }
+            gate.shutdown();
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * workers);
+    }
+}

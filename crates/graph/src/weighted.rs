@@ -107,10 +107,27 @@ pub fn dijkstra(g: &WeightedGraph, src: NodeId) -> Vec<u64> {
     dist
 }
 
-/// Dijkstra restricted to an edge subset (for evaluating weighted
-/// spanners).
-pub fn dijkstra_in_subgraph(g: &WeightedGraph, span: &EdgeSet, src: NodeId) -> Vec<u64> {
-    let mut dist = vec![W_UNREACHABLE; g.node_count()];
+/// Weighted adjacency of the subgraph induced by an edge subset:
+/// `adj[u]` lists `(v, w)` for every selected edge `{u, v}` of weight `w`.
+///
+/// Build this **once** per spanner and feed it to
+/// [`dijkstra_in_adjacency`]; rebuilding (or filtering the host adjacency)
+/// inside a per-source loop is O(n·m) of redundant work.
+pub fn subgraph_adjacency(g: &WeightedGraph, span: &EdgeSet) -> Vec<Vec<(NodeId, u32)>> {
+    let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); g.node_count()];
+    for e in span.iter() {
+        let (a, b) = g.graph().endpoints(e);
+        let w = g.weight(e);
+        adj[a.index()].push((b, w));
+        adj[b.index()].push((a, w));
+    }
+    adj
+}
+
+/// Dijkstra over a prebuilt weighted adjacency (see
+/// [`subgraph_adjacency`]).
+pub fn dijkstra_in_adjacency(adj: &[Vec<(NodeId, u32)>], src: NodeId) -> Vec<u64> {
+    let mut dist = vec![W_UNREACHABLE; adj.len()];
     let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
     dist[src.index()] = 0;
     heap.push(Reverse((0, src)));
@@ -118,11 +135,8 @@ pub fn dijkstra_in_subgraph(g: &WeightedGraph, span: &EdgeSet, src: NodeId) -> V
         if d > dist[u.index()] {
             continue;
         }
-        for &(v, e) in g.graph().neighbors(u) {
-            if !span.contains(e) {
-                continue;
-            }
-            let nd = d + u64::from(g.weight(e));
+        for &(v, w) in &adj[u.index()] {
+            let nd = d + u64::from(w);
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 heap.push(Reverse((nd, v)));
@@ -132,14 +146,22 @@ pub fn dijkstra_in_subgraph(g: &WeightedGraph, span: &EdgeSet, src: NodeId) -> V
     dist
 }
 
+/// Dijkstra restricted to an edge subset (for evaluating weighted
+/// spanners). One-shot convenience; for many sources over the same
+/// subset, build [`subgraph_adjacency`] once instead.
+pub fn dijkstra_in_subgraph(g: &WeightedGraph, span: &EdgeSet, src: NodeId) -> Vec<u64> {
+    dijkstra_in_adjacency(&subgraph_adjacency(g, span), src)
+}
+
 /// Worst multiplicative stretch of `span` over all connected pairs of `g`
 /// (runs n Dijkstras in both graphs — verification-sized inputs only).
 /// Returns `f64::INFINITY` if the spanner disconnects a connected pair.
 pub fn weighted_stretch(g: &WeightedGraph, span: &EdgeSet) -> f64 {
+    let adj = subgraph_adjacency(g, span);
     let mut worst: f64 = 1.0;
     for u in g.graph().nodes() {
         let host = dijkstra(g, u);
-        let sub = dijkstra_in_subgraph(g, span, u);
+        let sub = dijkstra_in_adjacency(&adj, u);
         for v in g.graph().nodes() {
             if u == v || host[v.index()] == W_UNREACHABLE {
                 continue;

@@ -1,0 +1,151 @@
+//! Engine ↔ reference parity suite (property-based).
+//!
+//! The distance engine re-implements every traversal it serves — flat
+//! single-source BFS, 64-way bit-parallel batches, pruned girth search,
+//! attributed multi-source BFS — so each entry point is pinned
+//! **byte-identical** to the original `traversal`/`distance`/`girth`
+//! reference implementations on random graphs: connected, disconnected,
+//! and self-loop-free multigraph edge lists (the builder collapses the
+//! duplicates), at every thread count from 1 to 8.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spanner_graph::distance::{
+    diameter_exact, eccentricity, verify_stretch_exact_reference, verify_stretch_exact_threads,
+    Apsp, StretchBound, UNREACHABLE,
+};
+use spanner_graph::girth::girth_reference;
+use spanner_graph::traversal::{bfs_distances, multi_source_bfs};
+use spanner_graph::{generators, DistanceEngine, EdgeSet, Graph, NodeId};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// A random graph in one of three shapes: connected, a sparse (usually
+/// disconnected) G(n, m), or a raw multigraph edge list with duplicate
+/// edges (never self-loops; `Graph::from_edges` discards the duplicates).
+fn random_graph(n: usize, m: usize, shape: u8, seed: u64) -> Graph {
+    let m = m.min(n * (n - 1) / 2); // the generators reject overfull graphs
+    match shape % 3 {
+        0 => generators::connected_gnm(n, m.max(n - 1), seed),
+        1 => generators::erdos_renyi_gnm(n, m / 2, seed),
+        _ => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| {
+                    let u = rng.gen_range(0..n as u32);
+                    let mut v = rng.gen_range(0..n as u32 - 1);
+                    if v >= u {
+                        v += 1; // self-loop-free by construction
+                    }
+                    (u, v)
+                })
+                .flat_map(|e| [e, e]) // duplicate every edge: multigraph input
+                .collect();
+            Graph::from_edges(n, edges)
+        }
+    }
+}
+
+fn flat(reference: &[Option<u32>]) -> Vec<u32> {
+    reference.iter().map(|d| d.unwrap_or(UNREACHABLE)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_distances_match_single_source_reference(
+        n in 2usize..=60,
+        m in 0usize..=180,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, m, shape, seed);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let expect: Vec<u32> = sources
+            .iter()
+            .flat_map(|&s| flat(&bfs_distances(&g, s)))
+            .collect();
+        for threads in THREAD_COUNTS {
+            let eng = DistanceEngine::new(&g).with_threads(threads);
+            prop_assert_eq!(&eng.many_distances(&sources), &expect, "threads={}", threads);
+            prop_assert_eq!(&eng.distances(sources[n / 2]), &expect[(n / 2) * n..(n / 2 + 1) * n]);
+        }
+    }
+
+    #[test]
+    fn apsp_diameter_girth_match_references(
+        n in 2usize..=60,
+        m in 0usize..=180,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, m, shape, seed);
+        let reference = Apsp::new_reference(&g);
+        let ref_diameter = g.nodes().map(|v| eccentricity(&g, v)).max();
+        let ref_girth = girth_reference(&g);
+        for threads in THREAD_COUNTS {
+            let apsp = Apsp::with_threads(&g, threads);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    prop_assert_eq!(apsp.dist(u, v), reference.dist(u, v), "{}->{}", u, v);
+                }
+            }
+            let eng = DistanceEngine::new(&g).with_threads(threads);
+            prop_assert_eq!(eng.diameter(), ref_diameter, "threads={}", threads);
+            prop_assert_eq!(diameter_exact(&g), ref_diameter);
+            prop_assert_eq!(eng.girth(), ref_girth, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn verify_stretch_witness_matches_reference(
+        n in 2usize..=50,
+        m in 0usize..=150,
+        shape in 0u8..3,
+        drop in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, m, shape, seed);
+        // A subgraph missing a few edges so both verdicts occur; the bound
+        // is tight enough that violations are common.
+        let mut span = EdgeSet::new(&g);
+        for (e, _, _) in g.edges() {
+            if g.edge_count() == 0 || e.index() % 6 >= drop {
+                span.insert(e);
+            }
+        }
+        let bound = StretchBound::multiplicative(2.0);
+        let expect = verify_stretch_exact_reference(&g, &span, bound);
+        for threads in THREAD_COUNTS {
+            let got = verify_stretch_exact_threads(&g, &span, bound, threads);
+            prop_assert_eq!(got, expect, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn nearest_sources_matches_multi_source_reference(
+        n in 1usize..=60,
+        m in 0usize..=180,
+        shape in 0u8..3,
+        nsources in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n.max(2), m, shape, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        // Duplicates allowed: both implementations must collapse them.
+        let sources: Vec<NodeId> = (0..nsources)
+            .map(|_| NodeId(rng.gen_range(0..g.node_count() as u32)))
+            .collect();
+        let got = DistanceEngine::new(&g).nearest_sources(&sources);
+        let want = multi_source_bfs(&g, &sources);
+        prop_assert_eq!(&got.dist, &flat(&want.dist));
+        let want_src: Vec<u32> = want
+            .source
+            .iter()
+            .map(|s| s.map_or(u32::MAX, |x| x.0))
+            .collect();
+        prop_assert_eq!(&got.source, &want_src);
+    }
+}

@@ -1,68 +1,14 @@
 //! Flat CSR adjacency shared by the sequential and parallel executors.
 //!
-//! [`Graph`] stores adjacency in edge-insertion order;
-//! the executors need each node's neighbor list **sorted ascending** (the
-//! determinism contract: `Ctx::neighbors` is sorted, `Ctx::send` binary
-//! searches it). Previously both executors built their own
-//! `Vec<Vec<NodeId>>` — n separate heap allocations, built twice per
-//! sequential-vs-parallel comparison. [`CsrAdjacency`] lays the same data out
-//! as two flat arrays (offsets + targets), built once and shareable between
-//! [`Network`](crate::Network) and
+//! The layout now lives in [`spanner_graph::csr`] so the distance engine
+//! and the executors share one implementation; this module re-exports it
+//! under the historical netsim path. The determinism contract is unchanged:
+//! `Ctx::neighbors` is sorted ascending and `Ctx::send` binary searches it,
+//! and the flat offsets + targets arrays are built once per graph and
+//! shared between [`Network`](crate::Network) and
 //! [`ParallelNetwork`](crate::parallel::ParallelNetwork).
 
-use spanner_graph::{Graph, NodeId};
-
-/// Sorted neighbor lists in compressed sparse row layout.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CsrAdjacency {
-    /// `offsets[v]..offsets[v + 1]` indexes `targets` for node `v`.
-    offsets: Vec<u32>,
-    /// Concatenated neighbor lists, each run sorted ascending.
-    targets: Vec<NodeId>,
-}
-
-impl CsrAdjacency {
-    /// Builds the sorted CSR adjacency of `graph`.
-    pub fn from_graph(graph: &Graph) -> Self {
-        let n = graph.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::with_capacity(2 * graph.edge_count());
-        offsets.push(0u32);
-        for v in graph.nodes() {
-            let start = targets.len();
-            targets.extend(graph.neighbor_ids(v));
-            targets[start..].sort_unstable();
-            offsets.push(u32::try_from(targets.len()).expect("graph fits u32 half-edges"));
-        }
-        CsrAdjacency { offsets, targets }
-    }
-
-    /// Number of nodes.
-    #[inline]
-    pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
-    }
-
-    /// Sorted neighbors of `v`.
-    #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.targets[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
-    }
-
-    /// Degree of `v`.
-    #[inline]
-    pub fn degree(&self, v: NodeId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
-    }
-
-    /// Maximum degree over all nodes (0 for the empty graph).
-    pub fn max_degree(&self) -> usize {
-        (0..self.node_count())
-            .map(|v| self.degree(NodeId(v as u32)))
-            .max()
-            .unwrap_or(0)
-    }
-}
+pub use spanner_graph::csr::CsrAdjacency;
 
 #[cfg(test)]
 mod tests {
@@ -70,31 +16,17 @@ mod tests {
     use spanner_graph::generators;
 
     #[test]
-    fn matches_graph_adjacency_sorted() {
-        let g = generators::erdos_renyi_gnm(50, 120, 3);
+    fn executor_contract_sorted_ascending() {
+        let g = generators::erdos_renyi_gnm(40, 100, 11);
         let csr = CsrAdjacency::from_graph(&g);
-        assert_eq!(csr.node_count(), 50);
         for v in g.nodes() {
-            let mut expect: Vec<NodeId> = g.neighbor_ids(v).collect();
-            expect.sort_unstable();
-            assert_eq!(csr.neighbors(v), expect.as_slice(), "node {v}");
-            assert_eq!(csr.degree(v), g.degree(v));
+            assert!(csr.neighbors(v).windows(2).all(|w| w[0] < w[1]), "{v}");
+            // `Ctx::send` relies on binary search over this slice.
+            for &u in csr.neighbors(v) {
+                assert!(csr.neighbors(v).binary_search(&u).is_ok());
+            }
         }
         assert_eq!(csr.max_degree(), g.max_degree());
-    }
-
-    #[test]
-    fn empty_graph() {
-        let csr = CsrAdjacency::from_graph(&Graph::empty(0));
-        assert_eq!(csr.node_count(), 0);
-        assert_eq!(csr.max_degree(), 0);
-    }
-
-    #[test]
-    fn star_hub_sees_all_leaves() {
-        let g = generators::star(1000);
-        let csr = CsrAdjacency::from_graph(&g);
-        assert_eq!(csr.degree(NodeId(0)), 999);
-        assert!(csr.neighbors(NodeId(0)).windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(csr.node_count(), g.node_count());
     }
 }

@@ -24,11 +24,12 @@
 //! Useful for big-n experiment sweeps; the sequential executor remains the
 //! reference implementation.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use rand::rngs::SmallRng;
 
+use spanner_graph::pool::RoundGate;
 use spanner_graph::{Graph, NodeId};
 
 use crate::budget::{BudgetViolation, MessageBudget};
@@ -290,9 +291,7 @@ impl<'g> ParallelNetwork<'g> {
             })
             .collect();
 
-        let start = Barrier::new(nchunks + 1);
-        let finish = Barrier::new(nchunks + 1);
-        let stop = AtomicBool::new(false);
+        let gate = RoundGate::new(nchunks);
         let round_no = AtomicU32::new(0);
         let adjacency = &self.adjacency;
         let budget = self.budget;
@@ -301,78 +300,73 @@ impl<'g> ParallelNetwork<'g> {
 
         let result: Result<(), RunError> = std::thread::scope(|scope| {
             for (ci, slot) in slots.iter().enumerate() {
-                let (start, finish, stop, round_no) = (&start, &finish, &stop, &round_no);
+                let (gate, round_no) = (&gate, &round_no);
                 let base = ci * chunk;
-                scope.spawn(move || loop {
-                    start.wait();
-                    if stop.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let round = round_no.load(Ordering::Acquire);
-                    let mut guard = slot.lock().expect("worker lock");
-                    let ChunkSlot {
-                        nodes,
-                        rngs,
-                        inboxes,
-                        outboxes,
-                        seen,
-                        stamp,
-                        phases,
-                        done,
-                    } = &mut *guard;
-                    for i in 0..nodes.len() {
-                        let v = NodeId((base + i) as u32);
-                        // Crashed or stuttering nodes execute nothing this
-                        // round; their (stale) buffers are cleared so the
-                        // coordinator routes nothing on their behalf. The
-                        // skip decision is a pure function of (plan, v,
-                        // round), identical on every executor and thread.
-                        if FAULTS && plan.skips(v, round) {
-                            outboxes[i].clear();
-                            inboxes[i].clear();
-                            phases[i].clear();
-                            continue;
-                        }
-                        // Sorted for free: the coordinator routes messages
-                        // in global ascending sender order (chunk by chunk,
-                        // node by node), so each inbox is already sorted.
-                        debug_assert!(inboxes[i].windows(2).all(|w| w[0].0 <= w[1].0));
-                        outboxes[i].clear();
-                        *stamp += 1;
-                        let mut ctx = Ctx::new_for_executor(
-                            v,
-                            n,
-                            round,
-                            adjacency.neighbors(v),
-                            &mut rngs[i],
-                            &mut outboxes[i],
+                scope.spawn(move || {
+                    while gate.worker_begin() {
+                        let round = round_no.load(Ordering::Acquire);
+                        let mut guard = slot.lock().expect("worker lock");
+                        let ChunkSlot {
+                            nodes,
+                            rngs,
+                            inboxes,
+                            outboxes,
                             seen,
-                            *stamp,
-                            &mut phases[i],
-                            TRACED,
-                        );
-                        if round == 0 {
-                            nodes[i].init(&mut ctx);
-                        } else {
-                            nodes[i].round(&mut ctx, &inboxes[i]);
+                            stamp,
+                            phases,
+                            done,
+                        } = &mut *guard;
+                        for i in 0..nodes.len() {
+                            let v = NodeId((base + i) as u32);
+                            // Crashed or stuttering nodes execute nothing this
+                            // round; their (stale) buffers are cleared so the
+                            // coordinator routes nothing on their behalf. The
+                            // skip decision is a pure function of (plan, v,
+                            // round), identical on every executor and thread.
+                            if FAULTS && plan.skips(v, round) {
+                                outboxes[i].clear();
+                                inboxes[i].clear();
+                                phases[i].clear();
+                                continue;
+                            }
+                            // Sorted for free: the coordinator routes messages
+                            // in global ascending sender order (chunk by chunk,
+                            // node by node), so each inbox is already sorted.
+                            debug_assert!(inboxes[i].windows(2).all(|w| w[0].0 <= w[1].0));
+                            outboxes[i].clear();
+                            *stamp += 1;
+                            let mut ctx = Ctx::new_for_executor(
+                                v,
+                                n,
+                                round,
+                                adjacency.neighbors(v),
+                                &mut rngs[i],
+                                &mut outboxes[i],
+                                seen,
+                                *stamp,
+                                &mut phases[i],
+                                TRACED,
+                            );
+                            if round == 0 {
+                                nodes[i].init(&mut ctx);
+                            } else {
+                                nodes[i].round(&mut ctx, &inboxes[i]);
+                            }
+                            inboxes[i].clear();
                         }
-                        inboxes[i].clear();
+                        *done = nodes.iter().enumerate().all(|(i, p)| {
+                            p.done() || (FAULTS && plan.crashed(NodeId((base + i) as u32), round))
+                        });
+                        drop(guard);
+                        gate.worker_end();
                     }
-                    *done = nodes.iter().enumerate().all(|(i, p)| {
-                        p.done() || (FAULTS && plan.crashed(NodeId((base + i) as u32), round))
-                    });
-                    drop(guard);
-                    finish.wait();
                 });
             }
 
-            // Coordinator. Workers park on `start`; one final `start.wait()`
-            // with the stop flag raised releases them to exit, and the scope
-            // joins them on the way out.
-            let shutdown = || {
-                stop.store(true, Ordering::Release);
-                start.wait();
-            };
+            // Coordinator. Workers park on the gate's start barrier; the
+            // final `shutdown` releases them to exit, and the scope joins
+            // them on the way out.
+            let shutdown = || gate.shutdown();
 
             // Routes every outbox into its target inbox in global sender
             // order (chunks are contiguous and ascending, so chunk order ×
@@ -455,8 +449,8 @@ impl<'g> ParallelNetwork<'g> {
             if FAULTS {
                 fstate.begin_round(0);
             }
-            start.wait();
-            finish.wait();
+            gate.open();
+            gate.close();
             let (mut in_flight, mut all_done) = match deliver(0, metrics, &mut fstate, tracer) {
                 Ok(v) => v,
                 Err(v) => {
@@ -491,8 +485,8 @@ impl<'g> ParallelNetwork<'g> {
                     fstate.begin_round(round);
                 }
                 round_no.store(round, Ordering::Release);
-                start.wait();
-                finish.wait();
+                gate.open();
+                gate.close();
                 (in_flight, all_done) = match deliver(round, metrics, &mut fstate, tracer) {
                     Ok(v) => v,
                     Err(v) => {

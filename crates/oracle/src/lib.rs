@@ -25,8 +25,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use spanner_graph::distance::UNREACHABLE;
-use spanner_graph::traversal::multi_source_bfs;
-use spanner_graph::{EdgeSet, Graph, NodeId};
+use spanner_graph::{DistanceEngine, EdgeSet, Graph, NodeId};
 use spanner_netsim::rng::node_rng;
 use ultrasparse::Spanner;
 
@@ -75,15 +74,18 @@ impl DistanceOracle {
             })
             .collect();
 
-        // Witnesses per level (multi-source BFS with min-id attribution).
+        // Witnesses per level (multi-source BFS with min-id attribution),
+        // computed over the flat distance engine's CSR adjacency.
+        let engine = DistanceEngine::new(g);
         let mut witness: Vec<Vec<Option<(u32, NodeId)>>> = Vec::with_capacity(k as usize);
         for i in 0..k {
             let sources: Vec<NodeId> = g.nodes().filter(|v| level[v.index()] >= i).collect();
-            let bfs = multi_source_bfs(g, &sources);
+            let bfs = engine.nearest_sources(&sources);
             witness.push(
                 g.nodes()
                     .map(|v| {
-                        bfs.dist[v.index()].map(|d| (d, bfs.source[v.index()].expect("attributed")))
+                        (bfs.dist[v.index()] != UNREACHABLE)
+                            .then(|| (bfs.dist[v.index()], NodeId(bfs.source[v.index()])))
                     })
                     .collect(),
             );

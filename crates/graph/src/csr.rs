@@ -88,10 +88,97 @@ impl CsrAdjacency {
         CsrAdjacency { offsets, targets }
     }
 
+    /// Builds the sorted CSR adjacency of the `n`-node simple graph with
+    /// the given edges, **without** materializing a [`Graph`] or any
+    /// per-node `Vec` in between — the streaming path that takes the
+    /// generators to n ≥ 10⁶ nodes.
+    ///
+    /// The edge stream is consumed twice (degree count, then scatter), so
+    /// the iterator must be `Clone` — generator closures and ranges are.
+    /// Self-loops are skipped and duplicate edges collapsed, exactly like
+    /// [`Graph::from_edges`](crate::graph::Graph::from_edges), so the
+    /// result is identical to
+    /// `CsrAdjacency::from_graph(&Graph::from_edges(n, edges))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the half-edge count
+    /// overflows `u32`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+        I::IntoIter: Clone,
+    {
+        let iter = edges.into_iter();
+        let mut degree = vec![0u32; n];
+        for (a, b) in iter.clone() {
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
+            if a == b {
+                continue; // simple graph: self-loops dropped
+            }
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc = acc.checked_add(d).expect("graph fits u32 half-edges");
+            offsets.push(acc);
+        }
+        let mut targets = vec![NodeId(0); acc as usize];
+        // Reuse `degree` as per-node write cursors.
+        let cursor = &mut degree;
+        cursor.fill(0);
+        for (a, b) in iter {
+            if a == b {
+                continue;
+            }
+            let ia = offsets[a as usize] + cursor[a as usize];
+            targets[ia as usize] = NodeId(b);
+            cursor[a as usize] += 1;
+            let ib = offsets[b as usize] + cursor[b as usize];
+            targets[ib as usize] = NodeId(a);
+            cursor[b as usize] += 1;
+        }
+        // Sort each run and collapse duplicate edges in place: the write
+        // cursor never catches up to the run being read, so compaction and
+        // offset rebuilding happen in a single pass with no extra memory.
+        let mut write = 0usize;
+        let mut start = 0usize;
+        for v in 0..n {
+            let end = offsets[v + 1] as usize;
+            targets[start..end].sort_unstable();
+            let mut last = None;
+            for r in start..end {
+                let t = targets[r];
+                if last != Some(t) {
+                    targets[write] = t;
+                    write += 1;
+                    last = Some(t);
+                }
+            }
+            start = end;
+            offsets[v + 1] = write as u32;
+        }
+        targets.truncate(write);
+        CsrAdjacency { offsets, targets }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
         self.offsets.len() - 1
+    }
+
+    /// Total length of the neighbor lists — twice the undirected edge
+    /// count.
+    #[inline]
+    pub fn half_edge_count(&self) -> usize {
+        self.targets.len()
     }
 
     /// Sorted neighbors of `v`.
@@ -132,6 +219,27 @@ mod tests {
             assert_eq!(csr.degree(v), g.degree(v));
         }
         assert_eq!(csr.max_degree(), g.max_degree());
+    }
+
+    #[test]
+    fn from_edges_matches_from_graph() {
+        // Duplicates, self-loops, and both orientations: all collapse to
+        // the same simple graph `Graph::from_edges` builds.
+        let edges = [(0u32, 1), (1, 0), (2, 2), (3, 1), (1, 3), (4, 0), (0, 4)];
+        let direct = CsrAdjacency::from_edges(5, edges);
+        let via_graph = CsrAdjacency::from_graph(&Graph::from_edges(5, edges));
+        assert_eq!(direct, via_graph);
+        assert_eq!(direct.half_edge_count(), 6);
+    }
+
+    #[test]
+    fn from_edges_matches_on_random_graph() {
+        let g = generators::erdos_renyi_gnm(70, 210, 11);
+        let edges: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        assert_eq!(
+            CsrAdjacency::from_edges(70, edges.iter().copied()),
+            CsrAdjacency::from_graph(&g)
+        );
     }
 
     #[test]

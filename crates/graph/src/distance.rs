@@ -4,9 +4,11 @@
 //! host graph for many pairs; this module provides the machinery: exact APSP,
 //! seeded pair sampling for larger graphs, eccentricities and diameter
 //! (exact and the classic two-sweep lower bound). The heavy lifting routes
-//! through the [`DistanceEngine`] (flat CSR + 64-way bit-parallel BFS,
-//! optionally threaded); the original one-BFS-per-source code paths are kept
-//! as `*_reference` functions for the parity suite.
+//! through the [`DistanceEngine`] (flat CSR; 64-way bit-parallel or
+//! direction-optimizing per-source BFS, picked per graph by the engine's
+//! [`Strategy`](crate::engine::Strategy) probe; optionally threaded); the
+//! original one-BFS-per-source code paths are kept as `*_reference`
+//! functions for the parity suite.
 
 use std::sync::Mutex;
 
@@ -14,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::edgeset::EdgeSet;
-use crate::engine::{BfsScratch, DistanceEngine, MsBfsScratch};
+use crate::engine::{BfsScratch, DistanceEngine, RowsScratch};
 use crate::graph::{Graph, NodeId};
 use crate::pool::{chunk_range, run_workers};
 use crate::traversal::{bfs_distances, bfs_distances_in_subgraph};
@@ -34,7 +36,12 @@ pub struct Apsp {
     dist: Vec<u32>,
 }
 
-/// Sentinel distance for unreachable pairs.
+/// The one unreachable-distance sentinel for unweighted (hop-count)
+/// distances: `u32::MAX`, used identically by the engine entry points and
+/// every `*_reference` path. The weighted counterpart is
+/// [`W_UNREACHABLE`] (`u64::MAX`), and
+/// unattributed nodes in multi-source results use
+/// [`NO_SOURCE`](crate::engine::NO_SOURCE).
 pub const UNREACHABLE: u32 = u32::MAX;
 
 impl Apsp {
@@ -249,16 +256,19 @@ pub fn verify_stretch_exact_threads(
             firsts.iter_mut().map(Mutex::new).collect();
         run_workers(t, |w| {
             let mut slot = slots[w].lock().expect("worker slot");
-            let mut host_scratch = MsBfsScratch::new(n);
-            let mut sub_scratch = MsBfsScratch::new(n);
+            let mut host_scratch = RowsScratch::new(n);
+            let mut sub_scratch = RowsScratch::new(n);
             let mut host_rows = vec![UNREACHABLE; batch_cap * n];
             let mut sub_rows = vec![UNREACHABLE; batch_cap * n];
             'batches: for b in chunk_range(nbatches, t, w) {
                 let r = chunk_range(n, nbatches, b);
                 let sources: Vec<NodeId> = (r.start as u32..r.end as u32).map(NodeId).collect();
                 let rows = sources.len() * n;
-                host.batch_distances_into(&sources, &mut host_scratch, &mut host_rows[..rows]);
-                sub.batch_distances_into(&sources, &mut sub_scratch, &mut sub_rows[..rows]);
+                // The host and the spanner subgraph resolve their
+                // strategies independently (a sparse spanner of a dense
+                // graph may well want the per-source path).
+                host.rows_into(&sources, &mut host_scratch, &mut host_rows[..rows]);
+                sub.rows_into(&sources, &mut sub_scratch, &mut sub_rows[..rows]);
                 for (i, &u) in sources.iter().enumerate() {
                     let dg = &host_rows[i * n..(i + 1) * n];
                     let ds = &sub_rows[i * n..(i + 1) * n];

@@ -1,4 +1,4 @@
-//! The flat-frontier distance engine.
+//! The adaptive flat-frontier distance engine.
 //!
 //! Every experiment and conformance check ultimately reduces to "many BFS
 //! passes over the same graph (or spanner subgraph)". The naive shape — one
@@ -7,24 +7,31 @@
 //! thousand nodes. [`DistanceEngine`] replaces it with:
 //!
 //! 1. a [`CsrAdjacency`] built **once** per graph or subgraph,
-//! 2. level-synchronous frontier BFS over flat `u32` distance arrays with a
-//!    reusable visited bitmap (no `Option`, no `VecDeque`, no per-source
-//!    allocation),
+//! 2. **direction-optimizing** single-source BFS (Beamer-style): top-down
+//!    frontier pushes over flat `u32` distance arrays with a reusable
+//!    visited bitmap, switching to bottom-up unvisited-node sweeps when the
+//!    frontier becomes edge-heavy (no `Option`, no `VecDeque`, no
+//!    per-source allocation),
 //! 3. 64-way **bit-parallel multi-source BFS**: one `u64` seen/frontier
 //!    word per node lets a single traversal serve 64 sources at once, so
 //!    APSP and stretch verification touch each edge once per 64 sources
 //!    instead of once per source,
-//! 4. fan-out of source batches across a [`pool`](crate::pool) worker team,
+//! 4. a per-graph [`Strategy`] picker: bit-parallelism pays only when the
+//!    64 BFS waves overlap (low-diameter graphs); on high-diameter shapes
+//!    (grids, paths, tori) one direction-optimizing BFS per source is
+//!    strictly faster. A cheap bounded-BFS probe chooses per graph, with an
+//!    explicit override for benches and tests,
+//! 5. fan-out of source batches across a [`pool`](crate::pool) worker team,
 //!    with **thread-count-independent results**: every output cell is a
 //!    pure function of (graph, source index), and workers write disjoint
 //!    regions determined by arithmetic, never by timing.
 //!
 //! The original single-source functions in [`traversal`](crate::traversal)
 //! remain as the reference implementations; `tests/engine_parity.rs` keeps
-//! the engine byte-identical to them.
+//! the engine byte-identical to them under every strategy and thread count.
 
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use crate::csr::CsrAdjacency;
 use crate::distance::UNREACHABLE;
@@ -32,25 +39,140 @@ use crate::edgeset::EdgeSet;
 use crate::graph::{Graph, NodeId};
 use crate::pool::{chunk_range, run_workers};
 
+/// Sentinel source id in [`MultiSourceFlat::source`] for nodes no source
+/// reaches (companion to [`UNREACHABLE`] distances).
+pub const NO_SOURCE: u32 = u32::MAX;
+
+/// How the batched row entry points ([`DistanceEngine::many_distances`],
+/// [`DistanceEngine::rows_into`], [`DistanceEngine::eccentricities`])
+/// traverse the graph.
+///
+/// Bit-parallel multi-source BFS touches each edge once per 64 sources,
+/// but a node re-enters the frontier every time a new source's wave
+/// reaches it — on high-diameter graphs (grids, paths, tori) the waves
+/// never overlap and the 64-way batch degrades to 64 sequential
+/// traversals with extra word traffic. Direction-optimizing per-source
+/// BFS is the right tool there. The choice never affects results, only
+/// wall-clock: every entry point is byte-identical under every strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Probe the graph once (bounded BFS, see
+    /// [`DistanceEngine::resolved_strategy`]) and pick per graph. The
+    /// default.
+    Auto,
+    /// Always use 64-way bit-parallel multi-source batches.
+    BitParallel,
+    /// Always run one direction-optimizing BFS per source.
+    DirectionOptimizing,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::Auto => "auto",
+            Strategy::BitParallel => "bit-parallel",
+            Strategy::DirectionOptimizing => "direction-optimizing",
+        })
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Strategy::Auto),
+            "bit-parallel" => Ok(Strategy::BitParallel),
+            "direction-optimizing" => Ok(Strategy::DirectionOptimizing),
+            other => Err(format!(
+                "unknown strategy {other:?} (expected auto, bit-parallel, \
+                 or direction-optimizing)"
+            )),
+        }
+    }
+}
+
+/// Beamer switch: go bottom-up when the frontier's out-edges exceed
+/// 1/ALPHA of the edges still incident to unvisited nodes. Gated behind
+/// two cheaper preconditions — the frontier must be growing AND cover at
+/// least half the undiscovered nodes — because a bottom-up sweep costs a
+/// pass over the whole unvisited set: it only pays when most unvisited
+/// nodes find a parent within their first few edges, i.e. when the wave
+/// about to land covers most of what remains. On lattices the wave peaks
+/// at ~√n nodes, the preconditions never hold, and the traversal stays
+/// top-down throughout — which is exactly right there.
+const ALPHA: usize = 14;
+/// Beamer switch: return top-down when the frontier shrinks below n/BETA
+/// nodes.
+const BETA: usize = 24;
+/// [`Strategy::Auto`] probe: a component that a bounded BFS does not
+/// exhaust within this many levels counts as high-diameter, and the
+/// engine batches per-source instead of bit-parallel. 64 consecutive
+/// sources whose waves stay more than ~half a word apart never overlap
+/// enough to amortize the word traffic.
+const PROBE_DEPTH: u32 = 32;
+
+/// Outcome of a [`DistanceEngine::bottom_up_phase`]: the traversal either
+/// drained (the frontier emptied at the contained depth) or thinned below
+/// `n / BETA` and hands control back to the top-down loop with its resume
+/// state.
+enum BuOutcome {
+    Done(u32),
+    Resume {
+        d: u32,
+        head: usize,
+        level_end: usize,
+        prev_len: usize,
+        /// Net bottom-up discoveries left unlisted in the visit queue
+        /// (discoveries minus the relisted final frontier).
+        bu_seen: usize,
+    },
+}
+
+/// Loop state of [`DistanceEngine::top_down_phase`], carried across the
+/// bottom-up excursions: `order[head..]` is the unexpanded frontier, nodes
+/// before `level_end` sit at level `d`, `prev_len` is the previous level's
+/// width, `bu_seen` counts bottom-up discoveries not listed in `order`,
+/// and `unvisited_edges` bounds the half-edges incident to nodes not yet
+/// expanded top-down.
+struct TdState {
+    head: usize,
+    level_end: usize,
+    d: u32,
+    prev_len: usize,
+    bu_seen: usize,
+    unvisited_edges: usize,
+}
+
 /// A reusable distance-computation engine over a fixed adjacency.
 ///
 /// Build once per graph (or per spanner subgraph via
 /// [`DistanceEngine::for_subgraph`]), then run as many traversals as
-/// needed; the engine itself is immutable, so one instance can be shared
+/// needed; the engine itself is immutable (cloning shares nothing but the
+/// CSR data and the cached probe verdict), so one instance can be shared
 /// across worker threads.
 #[derive(Debug, Clone)]
 pub struct DistanceEngine {
     csr: CsrAdjacency,
     threads: usize,
+    strategy: Strategy,
+    /// Cached [`Strategy::Auto`] probe verdict (pure function of the CSR,
+    /// so sharing or cloning the cache is always sound).
+    resolved: OnceLock<Strategy>,
 }
 
-/// Reusable scratch for single-source flat BFS: a visited bitmap plus the
-/// current and next frontier lists.
+/// Reusable scratch for single-source direction-optimizing BFS: the flat
+/// top-down visit queue (`cur`; `next` serves the strategy probe), plus
+/// the visited and frontier bitmaps the bottom-up phase works over —
+/// `front`/`front_next` sized lazily on the first bottom-up switch, since
+/// purely top-down traversals never touch a bitmap.
 #[derive(Debug, Clone)]
 pub struct BfsScratch {
     seen: Vec<u64>,
     cur: Vec<NodeId>,
     next: Vec<NodeId>,
+    front: Vec<u64>,
+    front_next: Vec<u64>,
 }
 
 impl BfsScratch {
@@ -60,6 +182,27 @@ impl BfsScratch {
             seen: vec![0u64; n.div_ceil(64)],
             cur: Vec::new(),
             next: Vec::new(),
+            front: Vec::new(),
+            front_next: Vec::new(),
+        }
+    }
+}
+
+/// Reusable scratch for the strategy-dispatching row entry point
+/// [`DistanceEngine::rows_into`]: holds both the bit-parallel and the
+/// per-source scratch so either strategy can serve a batch.
+#[derive(Debug, Clone)]
+pub struct RowsScratch {
+    ms: MsBfsScratch,
+    ss: BfsScratch,
+}
+
+impl RowsScratch {
+    /// Scratch for an `n`-node engine.
+    pub fn new(n: usize) -> Self {
+        RowsScratch {
+            ms: MsBfsScratch::new(n),
+            ss: BfsScratch::new(n),
         }
     }
 }
@@ -103,7 +246,7 @@ pub struct MultiSourceFlat {
     /// [`UNREACHABLE`] if no source reaches `v`.
     pub dist: Vec<u32>,
     /// `source[v]` is the attributed nearest source id (minimum id among
-    /// equidistant sources); `u32::MAX` if unreached.
+    /// equidistant sources); [`NO_SOURCE`] if unreached.
     pub source: Vec<u32>,
 }
 
@@ -121,7 +264,12 @@ impl DistanceEngine {
 
     /// An engine over an already-built adjacency.
     pub fn from_csr(csr: CsrAdjacency) -> Self {
-        DistanceEngine { csr, threads: 1 }
+        DistanceEngine {
+            csr,
+            threads: 1,
+            strategy: Strategy::Auto,
+            resolved: OnceLock::new(),
+        }
     }
 
     /// Sets the worker count for the batched entry points. Results are
@@ -139,6 +287,64 @@ impl DistanceEngine {
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Overrides the batching [`Strategy`] (default [`Strategy::Auto`]).
+    /// Results are identical under every strategy; only wall-clock
+    /// changes. The override exists for benches and tests.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The configured strategy (possibly [`Strategy::Auto`]).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The strategy the batched entry points actually use — the
+    /// configured one, or for [`Strategy::Auto`] the verdict of a cheap
+    /// one-shot probe: a single BFS from the first non-isolated node,
+    /// bounded to `PROBE_DEPTH` levels. A component exhausted within
+    /// the bound is low-diameter (64-source waves overlap, bit-parallel
+    /// wins); a frontier still alive past it marks a high-diameter shape
+    /// (per-source direction-optimizing wins). The probe runs at most
+    /// once per engine and is a pure function of the adjacency.
+    pub fn resolved_strategy(&self) -> Strategy {
+        match self.strategy {
+            Strategy::Auto => *self.resolved.get_or_init(|| self.probe_strategy()),
+            s => s,
+        }
+    }
+
+    /// The bounded-BFS probe behind [`Strategy::Auto`].
+    fn probe_strategy(&self) -> Strategy {
+        let n = self.node_count();
+        let Some(src) = (0..n).find(|&v| self.csr.degree(NodeId(v as u32)) > 0) else {
+            return Strategy::BitParallel; // edgeless: nothing to traverse
+        };
+        let mut scratch = BfsScratch::new(n);
+        scratch.seen[src / 64] |= 1u64 << (src % 64);
+        scratch.cur.push(NodeId(src as u32));
+        let mut depth = 0u32;
+        while !scratch.cur.is_empty() {
+            if depth == PROBE_DEPTH {
+                return Strategy::DirectionOptimizing;
+            }
+            depth += 1;
+            for &u in &scratch.cur {
+                for &v in self.csr.neighbors(u) {
+                    let (w, b) = (v.index() / 64, v.index() % 64);
+                    if scratch.seen[w] & (1u64 << b) == 0 {
+                        scratch.seen[w] |= 1u64 << b;
+                        scratch.next.push(v);
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            scratch.next.clear();
+        }
+        Strategy::BitParallel
     }
 
     /// Worker count actually used for `work_items` independent pieces:
@@ -171,37 +377,300 @@ impl DistanceEngine {
         out
     }
 
-    /// Single-source flat-frontier BFS from `src` into `out`
+    /// Single-source direction-optimizing BFS from `src` into `out`
     /// (length `n`, overwritten entirely), reusing `scratch`.
     ///
     /// # Panics
     ///
     /// Panics if `out` or `scratch` were sized for a different engine.
     pub fn distances_into(&self, src: NodeId, scratch: &mut BfsScratch, out: &mut [u32]) {
+        assert_eq!(
+            out.len(),
+            self.node_count(),
+            "output sized for a different engine"
+        );
+        self.dir_opt_from(src, scratch, out);
+    }
+
+    /// The direction-optimizing (Beamer-style) single-source BFS core:
+    /// overwrites `dist` entirely ([`UNREACHABLE`] where disconnected)
+    /// and returns the eccentricity of `src` within its component.
+    ///
+    /// The `dist` row doubles as the visited structure: the top-down scan
+    /// tests and writes distance cells directly — one load and one store
+    /// per discovery, exactly what the queue-based reference pays — and
+    /// the visited/frontier *bitmaps* are built only at the moment a
+    /// traversal first goes bottom-up. High-diameter shapes, the ones the
+    /// picker routes here, stay top-down throughout and never touch a
+    /// bitmap.
+    ///
+    /// Levels expand **top-down** (scan the frontier's out-edges) until the
+    /// frontier is *still growing* and edge-heavy — more than `1/ALPHA` of
+    /// the half-edges still incident to unvisited nodes — then
+    /// **bottom-up**: sweep the unvisited nodes via the seen-bitmap words
+    /// and stop at each node's first parent found in the frontier bitmap,
+    /// which on dense levels examines a small fraction of the edges a
+    /// top-down scan would. The mode is sticky until the frontier shrinks
+    /// below `n/BETA` nodes, after which it returns to top-down for the
+    /// tail of the traversal. The growing requirement is load-bearing on
+    /// lattices: near the end of a grid traversal the edge-heaviness test
+    /// stays true on its own, and without it the engine would re-enter
+    /// bottom-up on every tail level and re-sweep all unseen nodes each
+    /// time. The visit order differs between modes but the level
+    /// assignment — and hence everything recorded — does not.
+    fn dir_opt_from(&self, src: NodeId, scratch: &mut BfsScratch, dist: &mut [u32]) -> u32 {
         let n = self.node_count();
-        assert_eq!(out.len(), n, "output sized for a different engine");
-        out.fill(UNREACHABLE);
-        scratch.seen.fill(0);
-        scratch.cur.clear();
-        scratch.next.clear();
-        scratch.seen[src.index() / 64] |= 1u64 << (src.index() % 64);
-        out[src.index()] = 0;
-        scratch.cur.push(src);
-        let mut d = 0u32;
-        while !scratch.cur.is_empty() {
-            d += 1;
-            for &u in &scratch.cur {
-                for &v in self.csr.neighbors(u) {
-                    let (w, b) = (v.index() / 64, v.index() % 64);
-                    if scratch.seen[w] & (1u64 << b) == 0 {
-                        scratch.seen[w] |= 1u64 << b;
-                        out[v.index()] = d;
-                        scratch.next.push(v);
+        let BfsScratch {
+            seen,
+            cur,
+            next,
+            front,
+            front_next,
+        } = scratch;
+        assert_eq!(dist.len(), n, "dist row sized for a different engine");
+        let order = cur; // flat visit queue: discoveries append, `head` consumes
+        order.clear();
+        let _ = next; // only the probe uses the second list
+        dist.fill(UNREACHABLE);
+        dist[src.index()] = 0;
+        order.push(src);
+        let mut st = TdState {
+            head: 0,
+            level_end: 1,
+            d: 0,
+            prev_len: 1,
+            bu_seen: 0,
+            // Kept from the neighbor-slice lengths the scan loads anyway;
+            // nodes expanded bottom-up are never debited, which only
+            // overstates the count and so errs toward staying top-down —
+            // the cheap side.
+            unvisited_edges: self.csr.half_edge_count(),
+        };
+        loop {
+            if !self.top_down_phase(dist, order, &mut st) {
+                return st.d;
+            }
+            match self.bottom_up_phase(dist, order, st.head, seen, front, front_next, st.d) {
+                BuOutcome::Done(depth) => return depth,
+                BuOutcome::Resume {
+                    d,
+                    head,
+                    level_end,
+                    prev_len,
+                    bu_seen: delta,
+                } => {
+                    st.d = d;
+                    st.head = head;
+                    st.level_end = level_end;
+                    st.prev_len = prev_len;
+                    st.bu_seen += delta;
+                }
+            }
+        }
+    }
+
+    /// The top-down scan of [`Self::dir_opt_from`]: expands `order[head..]`
+    /// level by level until the traversal drains (returns `false`) or the
+    /// switch gate fires (returns `true`, frontier still listed at
+    /// `order[st.head..]`). The two-pointer layout makes the per-node cost
+    /// of a level boundary a single index comparison — essential on
+    /// high-diameter shapes, where a path of 600 nodes has 599 one-node
+    /// levels and any per-level clear/swap dominates. Out-of-line with a
+    /// minimal state footprint deliberately: this loop is the whole cost
+    /// of the engine on the shapes the picker routes here, and compiling
+    /// it as its own small function keeps every loop variable in a
+    /// register (folded into `dir_opt_from`, the surrounding phase
+    /// machinery forces per-edge stack spills — a measured ~25% slowdown
+    /// on mid-size grids).
+    #[inline(never)]
+    fn top_down_phase(&self, dist: &mut [u32], order: &mut Vec<NodeId>, st: &mut TdState) -> bool {
+        let n = dist.len();
+        let TdState {
+            mut head,
+            mut level_end,
+            mut d,
+            mut prev_len,
+            bu_seen,
+            mut unvisited_edges,
+        } = *st;
+        let mut switch = false;
+        while head < order.len() {
+            if head == level_end {
+                // A new (nonempty) level begins.
+                d += 1;
+                let flen = order.len() - head;
+                // Evaluate the switch only on a *growing* frontier that
+                // covers at least half the undiscovered nodes: flat
+                // traversals (paths, cycles, lattice waves) pay one
+                // comparison per level and never the degree sum, and the
+                // shrinking tail of a traversal can never re-enter
+                // bottom-up and re-sweep the unseen nodes.
+                if flen > prev_len
+                    && 2 * flen >= n - (order.len() + bu_seen)
+                    && self.frontier_is_edge_heavy(&order[head..], unvisited_edges)
+                {
+                    switch = true;
+                    break;
+                }
+                prev_len = flen;
+                level_end = order.len();
+            }
+            let u = order[head];
+            head += 1;
+            let nbrs = self.csr.neighbors(u);
+            unvisited_edges -= nbrs.len();
+            let lvl = d + 1;
+            for &v in nbrs {
+                let dv = &mut dist[v.index()];
+                if *dv == UNREACHABLE {
+                    *dv = lvl;
+                    order.push(v);
+                }
+            }
+        }
+        *st = TdState {
+            head,
+            level_end,
+            d,
+            prev_len,
+            bu_seen,
+            unvisited_edges,
+        };
+        switch
+    }
+
+    /// The edge-heaviness half of the switch gate: is the frontier
+    /// incident to more than `unvisited_edges / ALPHA` half-edges?
+    /// Out-of-line so the top-down loop never carries the degree-sum code.
+    #[inline(never)]
+    fn frontier_is_edge_heavy(&self, frontier: &[NodeId], unvisited_edges: usize) -> bool {
+        let frontier_edges: usize = frontier.iter().map(|&u| self.csr.degree(u)).sum();
+        frontier_edges * ALPHA > unvisited_edges
+    }
+
+    /// Bottom-up sweeps for [`Self::dir_opt_from`], entered with the
+    /// current frontier listed in `order[head..]` at level `d`. Builds the
+    /// visited bitmap from the dist row and the frontier bitmap (lazily —
+    /// purely top-down traversals never touch them), then sweeps the
+    /// unseen nodes level by level until the traversal drains or the
+    /// frontier thins below `n / BETA` and is relisted into `order` for
+    /// the top-down tail. Out-of-line (`inline(never)`) deliberately: the
+    /// top-down loop is the hot path on high-diameter shapes, and keeping
+    /// the sweep's bitmap state out of `dir_opt_from` measurably tightens
+    /// its codegen.
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn bottom_up_phase(
+        &self,
+        dist: &mut [u32],
+        order: &mut Vec<NodeId>,
+        head: usize,
+        seen: &mut [u64],
+        front: &mut Vec<u64>,
+        front_next: &mut Vec<u64>,
+        mut d: u32,
+    ) -> BuOutcome {
+        let n = dist.len();
+        let words = n.div_ceil(64);
+        if front.len() != words {
+            front.resize(words, 0);
+            front_next.resize(words, 0);
+        }
+        for (w, word) in seen.iter_mut().enumerate() {
+            let base = w * 64;
+            let mut bits = 0u64;
+            for (b, &dv) in dist[base..(base + 64).min(n)].iter().enumerate() {
+                bits |= u64::from(dv != UNREACHABLE) << b;
+            }
+            *word = bits;
+        }
+        front.fill(0);
+        for &u in &order[head..] {
+            front[u.index() / 64] |= 1u64 << (u.index() % 64);
+        }
+        // Nonexistent tail bits of the last seen-word must never read as
+        // unvisited nodes.
+        let tail_mask = if n.is_multiple_of(64) {
+            !0u64
+        } else {
+            (1u64 << (n % 64)) - 1
+        };
+        let mut bu_seen = 0usize;
+        loop {
+            let lvl = d + 1;
+            front_next.fill(0);
+            let mut flen = 0usize;
+            for w in 0..words {
+                let mut unseen = !seen[w];
+                if w == words - 1 {
+                    unseen &= tail_mask;
+                }
+                while unseen != 0 {
+                    let v = w * 64 + unseen.trailing_zeros() as usize;
+                    unseen &= unseen - 1;
+                    for &u in self.csr.neighbors(NodeId(v as u32)) {
+                        if front[u.index() / 64] >> (u.index() % 64) & 1 == 1 {
+                            seen[w] |= 1u64 << (v % 64);
+                            front_next[w] |= 1u64 << (v % 64);
+                            dist[v] = lvl;
+                            bu_seen += 1;
+                            flen += 1;
+                            break;
+                        }
                     }
                 }
             }
-            std::mem::swap(&mut scratch.cur, &mut scratch.next);
-            scratch.next.clear();
+            std::mem::swap(front, front_next);
+            if flen == 0 {
+                return BuOutcome::Done(d);
+            }
+            d = lvl;
+            if flen * BETA < n {
+                // Thin again: list the frontier back into `order` for the
+                // top-down tail. Its nodes are at level `d`, so
+                // `level_end` covers the whole relisted region; they move
+                // from the `bu_seen` tally into `order.len()`.
+                bu_seen -= flen;
+                let head = order.len();
+                for (w, &word) in front.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let v = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        order.push(NodeId(v as u32));
+                    }
+                }
+                return BuOutcome::Resume {
+                    d,
+                    head,
+                    level_end: order.len(),
+                    prev_len: flen,
+                    bu_seen,
+                };
+            }
+        }
+    }
+
+    /// Distance rows for up to 64 `sources` into `out` (row-major
+    /// `sources.len() * n`, overwritten entirely), dispatched through the
+    /// resolved [`Strategy`]: one bit-parallel traversal for the whole
+    /// batch, or one direction-optimizing BFS per source. The rows are
+    /// byte-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() > 64` or the buffer sizes do not match.
+    pub fn rows_into(&self, sources: &[NodeId], scratch: &mut RowsScratch, out: &mut [u32]) {
+        match self.resolved_strategy() {
+            Strategy::DirectionOptimizing => {
+                let n = self.node_count();
+                assert!(sources.len() <= 64, "at most 64 sources per batch");
+                assert_eq!(out.len(), sources.len() * n, "row buffer size mismatch");
+                for (&s, row) in sources.iter().zip(out.chunks_exact_mut(n)) {
+                    self.distances_into(s, &mut scratch.ss, row);
+                }
+            }
+            _ => self.batch_distances_into(sources, &mut scratch.ms, out),
         }
     }
 
@@ -342,6 +811,42 @@ impl DistanceEngine {
         if len == 0 || n == 0 {
             return out;
         }
+        if self.resolved_strategy() == Strategy::DirectionOptimizing {
+            // One direction-optimizing BFS per source; workers own
+            // contiguous source ranges, so every cell is written exactly
+            // once by the worker arithmetic assigns it to.
+            let t = self.fanout(len);
+            if t <= 1 {
+                let mut scratch = BfsScratch::new(n);
+                for (i, &s) in sources.iter().enumerate() {
+                    self.distances_into(s, &mut scratch, &mut out[i * n..(i + 1) * n]);
+                }
+                return out;
+            }
+            let mut slots: Vec<Mutex<(std::ops::Range<usize>, &mut [u32])>> = Vec::with_capacity(t);
+            let mut rest: &mut [u32] = &mut out;
+            let mut consumed = 0usize;
+            for w in 0..t {
+                let r = chunk_range(len, t, w);
+                let (region, tail) = rest.split_at_mut((r.end - consumed) * n);
+                consumed = r.end;
+                rest = tail;
+                slots.push(Mutex::new((r, region)));
+            }
+            run_workers(t, |w| {
+                let mut guard = slots[w].lock().expect("worker slot");
+                let (r, region) = &mut *guard;
+                let mut scratch = BfsScratch::new(n);
+                for (off, i) in r.clone().enumerate() {
+                    self.distances_into(
+                        sources[i],
+                        &mut scratch,
+                        &mut region[off * n..(off + 1) * n],
+                    );
+                }
+            });
+            return out;
+        }
         // Full-width batches: 64 sources each, so every traversal carries a
         // full word of bit-parallel work. Parallelism comes from spreading
         // whole batches across workers; threads beyond ⌈len/64⌉ idle rather
@@ -407,6 +912,32 @@ impl DistanceEngine {
         if n == 0 {
             return out;
         }
+        if self.resolved_strategy() == Strategy::DirectionOptimizing {
+            // The per-source BFS already returns the max level; one
+            // scratch dist row per worker is the only buffer, so exact
+            // diameters stay O(n) in memory.
+            let t = self.fanout(n);
+            let mut slots: Vec<Mutex<(std::ops::Range<usize>, &mut [u32])>> = Vec::with_capacity(t);
+            let mut rest: &mut [u32] = &mut out;
+            let mut consumed = 0usize;
+            for w in 0..t {
+                let r = chunk_range(n, t, w);
+                let (region, tail) = rest.split_at_mut(r.end - consumed);
+                consumed = r.end;
+                rest = tail;
+                slots.push(Mutex::new((r, region)));
+            }
+            run_workers(t, |w| {
+                let mut guard = slots[w].lock().expect("worker slot");
+                let (r, region) = &mut *guard;
+                let mut scratch = BfsScratch::new(n);
+                let mut row = vec![0u32; n];
+                for (off, s) in r.clone().enumerate() {
+                    region[off] = self.dir_opt_from(NodeId(s as u32), &mut scratch, &mut row);
+                }
+            });
+            return out;
+        }
         let nbatches = n.div_ceil(64);
         let t = self.fanout(nbatches);
         let mut slots: Vec<Mutex<(std::ops::Range<usize>, &mut [u32])>> = Vec::with_capacity(t);
@@ -467,7 +998,7 @@ impl DistanceEngine {
         let best = AtomicU32::new(u32::MAX);
         let t = self.fanout(n);
         run_workers(t, |w| {
-            let mut dist = vec![u32::MAX; n];
+            let mut dist = vec![UNREACHABLE; n];
             let mut parent = vec![u32::MAX; n];
             let mut cur: Vec<NodeId> = Vec::new();
             let mut next: Vec<NodeId> = Vec::new();
@@ -492,7 +1023,7 @@ impl DistanceEngine {
                             if v.0 == parent[u.index()] {
                                 continue; // the tree edge (simple graph)
                             }
-                            if dist[v.index()] == u32::MAX {
+                            if dist[v.index()] == UNREACHABLE {
                                 dist[v.index()] = d + 1;
                                 parent[v.index()] = u.0;
                                 touched.push(v.0);
@@ -508,7 +1039,7 @@ impl DistanceEngine {
                     next.clear();
                 }
                 for &v in &touched {
-                    dist[v as usize] = u32::MAX;
+                    dist[v as usize] = UNREACHABLE;
                 }
                 touched.clear();
             }
@@ -524,46 +1055,81 @@ impl DistanceEngine {
     pub fn nearest_sources(&self, sources: &[NodeId]) -> MultiSourceFlat {
         let n = self.node_count();
         let mut dist = vec![UNREACHABLE; n];
-        let mut source = vec![u32::MAX; n];
+        let mut source = vec![NO_SOURCE; n];
         let mut frontier: Vec<NodeId> = Vec::new();
         let mut sorted: Vec<NodeId> = sources.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
+        let mut frontier_edges = 0usize;
         for &s in &sorted {
             dist[s.index()] = 0;
             source[s.index()] = s.0;
             frontier.push(s);
+            frontier_edges += self.csr.degree(s);
         }
+        let mut unvisited_edges = self.csr.half_edge_count() - frontier_edges;
         let mut next: Vec<NodeId> = Vec::new();
         let mut d = 0u32;
         while !frontier.is_empty() {
             d += 1;
-            // First pass: discover; keep the min-id source among frontier
-            // parents seen so far.
-            for &u in &frontier {
-                let su = source[u.index()];
-                for &v in self.csr.neighbors(u) {
-                    if dist[v.index()] == UNREACHABLE {
-                        dist[v.index()] = d;
-                        source[v.index()] = su;
-                        next.push(v);
-                    } else if dist[v.index()] == d && su < source[v.index()] {
-                        source[v.index()] = su;
+            // Direction choice, fresh per level (the oracle seeds dense
+            // source sets whose first levels swallow most of the graph):
+            // bottom-up pays when the frontier is edge-heavy AND wide — a
+            // narrow frontier with huge degrees (a star hub, a lollipop
+            // head) would make the full unvisited sweep scan nearly every
+            // node for a handful of discoveries. The distance array itself
+            // is the frontier membership test (`dist == d - 1`), so no
+            // bitmap is needed, and the min-over-parents scan below *is*
+            // the reference attribution rule — results stay identical to
+            // the top-down branch.
+            let dense = frontier_edges > unvisited_edges / ALPHA && frontier.len() >= n / BETA;
+            if dense {
+                for v in 0..n {
+                    if dist[v] != UNREACHABLE {
+                        continue;
+                    }
+                    let mut bst = NO_SOURCE;
+                    for &u in self.csr.neighbors(NodeId(v as u32)) {
+                        if dist[u.index()] == d - 1 && source[u.index()] < bst {
+                            bst = source[u.index()];
+                        }
+                    }
+                    if bst != NO_SOURCE {
+                        dist[v] = d;
+                        source[v] = bst;
+                        next.push(NodeId(v as u32));
                     }
                 }
-            }
-            // Second pass: fix attribution against *all* parents, exactly
-            // like the reference (a node's best source may arrive via a
-            // parent that scanned it after a worse one).
-            for &v in &next {
-                let mut bst = source[v.index()];
-                for &u in self.csr.neighbors(v) {
-                    if dist[u.index()] == d - 1 && source[u.index()] < bst {
-                        bst = source[u.index()];
+            } else {
+                // First pass: discover; keep the min-id source among
+                // frontier parents seen so far.
+                for &u in &frontier {
+                    let su = source[u.index()];
+                    for &v in self.csr.neighbors(u) {
+                        if dist[v.index()] == UNREACHABLE {
+                            dist[v.index()] = d;
+                            source[v.index()] = su;
+                            next.push(v);
+                        } else if dist[v.index()] == d && su < source[v.index()] {
+                            source[v.index()] = su;
+                        }
                     }
                 }
-                source[v.index()] = bst;
+                // Second pass: fix attribution against *all* parents,
+                // exactly like the reference (a node's best source may
+                // arrive via a parent that scanned it after a worse one).
+                for &v in &next {
+                    let mut bst = source[v.index()];
+                    for &u in self.csr.neighbors(v) {
+                        if dist[u.index()] == d - 1 && source[u.index()] < bst {
+                            bst = source[u.index()];
+                        }
+                    }
+                    source[v.index()] = bst;
+                }
             }
+            frontier_edges = next.iter().map(|&v| self.csr.degree(v)).sum();
+            unvisited_edges -= frontier_edges;
             std::mem::swap(&mut frontier, &mut next);
             next.clear();
         }
@@ -676,6 +1242,112 @@ mod tests {
                 "{v}"
             );
         }
+    }
+
+    #[test]
+    fn probe_picks_expected_strategies() {
+        // High-diameter shapes: the bounded probe runs out of depth.
+        for g in [
+            generators::path(200),
+            generators::cycle(100),
+            generators::grid(40, 40),
+            generators::torus(40, 40), // ecc 40 > PROBE_DEPTH (a 30×30 torus, ecc 30, stays bit-parallel)
+        ] {
+            assert_eq!(
+                DistanceEngine::new(&g).resolved_strategy(),
+                Strategy::DirectionOptimizing
+            );
+        }
+        // Low-diameter shapes: the probe exhausts the component early.
+        for g in [
+            generators::star(500),
+            generators::erdos_renyi_gnm(200, 800, 1),
+            generators::caveman(4, 12, 3, 2),
+            Graph::empty(5),
+        ] {
+            assert_eq!(
+                DistanceEngine::new(&g).resolved_strategy(),
+                Strategy::BitParallel
+            );
+        }
+        // An explicit override always wins over the probe.
+        let eng = DistanceEngine::new(&generators::path(200)).with_strategy(Strategy::BitParallel);
+        assert_eq!(eng.strategy(), Strategy::BitParallel);
+        assert_eq!(eng.resolved_strategy(), Strategy::BitParallel);
+    }
+
+    #[test]
+    fn strategy_round_trips_strings() {
+        for s in [
+            Strategy::Auto,
+            Strategy::BitParallel,
+            Strategy::DirectionOptimizing,
+        ] {
+            assert_eq!(s.to_string().parse::<Strategy>(), Ok(s));
+        }
+        assert!("garbage".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn strategies_agree_on_all_entry_points() {
+        for g in [
+            generators::grid(9, 7),
+            generators::erdos_renyi_gnm(90, 180, 3), // disconnected bits too
+            generators::star(40),
+        ] {
+            let sources: Vec<NodeId> = g.nodes().collect();
+            let auto = DistanceEngine::new(&g);
+            let bp = DistanceEngine::new(&g).with_strategy(Strategy::BitParallel);
+            let dopt = DistanceEngine::new(&g).with_strategy(Strategy::DirectionOptimizing);
+            let want = auto.many_distances(&sources);
+            assert_eq!(bp.many_distances(&sources), want);
+            assert_eq!(dopt.many_distances(&sources), want);
+            assert_eq!(bp.eccentricities(), dopt.eccentricities());
+            assert_eq!(bp.diameter(), dopt.diameter());
+            // rows_into under both forced strategies.
+            let n = g.node_count();
+            let batch: Vec<NodeId> = sources.iter().take(64).copied().collect();
+            let mut scratch = RowsScratch::new(n);
+            let mut rows = vec![0u32; batch.len() * n];
+            for eng in [&bp, &dopt] {
+                rows.fill(0);
+                eng.rows_into(&batch, &mut scratch, &mut rows);
+                assert_eq!(rows, want[..batch.len() * n]);
+            }
+        }
+    }
+
+    #[test]
+    fn dir_opt_bottom_up_matches_reference_on_dense_levels() {
+        // Wide mid-BFS waves push the traversal through the bottom-up
+        // branch (including the tail-word masking: 600 % 64 != 0); the
+        // distances must not depend on the mode.
+        for g in [
+            generators::erdos_renyi_gnm(600, 2400, 17),
+            generators::caveman(4, 20, 6, 5),
+        ] {
+            let eng = DistanceEngine::new(&g).with_strategy(Strategy::DirectionOptimizing);
+            for s in [NodeId(0), NodeId(17), NodeId(g.node_count() as u32 - 1)] {
+                assert_eq!(eng.distances(s), flat(&bfs_distances(&g, s)), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_sources_dense_source_sets_match_reference() {
+        // Half the nodes as sources triggers the bottom-up level choice.
+        let g = generators::erdos_renyi_gnm(150, 600, 21);
+        let eng = DistanceEngine::new(&g);
+        let sources: Vec<NodeId> = (0..75u32).map(|i| NodeId(i * 2)).collect();
+        let got = eng.nearest_sources(&sources);
+        let want = multi_source_bfs(&g, &sources);
+        assert_eq!(got.dist, flat(&want.dist));
+        let want_src: Vec<u32> = want
+            .source
+            .iter()
+            .map(|s| s.map_or(NO_SOURCE, |x| x.0))
+            .collect();
+        assert_eq!(got.source, want_src);
     }
 
     #[test]

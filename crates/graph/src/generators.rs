@@ -21,6 +21,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::csr::CsrAdjacency;
 use crate::graph::{Graph, GraphBuilder, NodeId};
 
 /// Erdős–Rényi G(n, p): each of the n(n−1)/2 edges present independently
@@ -91,13 +92,26 @@ fn offset(u: u64, n: u64) -> u64 {
 ///
 /// Panics if `m` exceeds n(n−1)/2.
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    Graph::from_edges(n, gnm_edges(n, m, seed))
+}
+
+/// [`erdos_renyi_gnm`] built straight into a [`CsrAdjacency`] (identical
+/// RNG stream, so the same seed yields the same graph) — no intermediate
+/// [`Graph`], for million-node distance workloads.
+pub fn erdos_renyi_gnm_csr(n: usize, m: usize, seed: u64) -> CsrAdjacency {
+    CsrAdjacency::from_edges(n, gnm_edges(n, m, seed))
+}
+
+/// The shared G(n, m) edge sampler behind [`erdos_renyi_gnm`] and
+/// [`erdos_renyi_gnm_csr`].
+fn gnm_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
     let total = n as u64 * (n.saturating_sub(1)) as u64 / 2;
     assert!(
         (m as u64) <= total,
         "m = {m} exceeds the {total} possible edges"
     );
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
+    let mut edges = Vec::with_capacity(m);
     if m as u64 > total / 2 {
         // Dense: sample which pairs to EXCLUDE via Floyd's algorithm.
         let excl = floyd_sample(total, total - m as u64, &mut rng);
@@ -110,15 +124,15 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
                 continue;
             }
             let (u, v) = pair_from_index(idx, n as u64);
-            b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            edges.push((u as u32, v as u32));
         }
     } else {
         for idx in floyd_sample(total, m as u64, &mut rng) {
             let (u, v) = pair_from_index(idx, n as u64);
-            b.add_edge(NodeId(u as u32), NodeId(v as u32));
+            edges.push((u as u32, v as u32));
         }
     }
-    b.build()
+    edges
 }
 
 /// Floyd's algorithm: `k` distinct values from `0..total`.
@@ -185,6 +199,19 @@ pub fn connected_gnm(n: usize, m: usize, seed: u64) -> Graph {
 ///
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    Graph::from_edges(n, random_regular_edges(n, d, seed))
+}
+
+/// [`random_regular`] built straight into a [`CsrAdjacency`] (identical
+/// RNG stream; [`CsrAdjacency::from_edges`] collapses the fallback path's
+/// collisions exactly like `Graph::from_edges` would).
+pub fn random_regular_csr(n: usize, d: usize, seed: u64) -> CsrAdjacency {
+    CsrAdjacency::from_edges(n, random_regular_edges(n, d, seed))
+}
+
+/// The shared pairing-model sampler behind [`random_regular`] and
+/// [`random_regular_csr`].
+fn random_regular_edges(n: usize, d: usize, seed: u64) -> Vec<(u32, u32)> {
     assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be < n");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -206,7 +233,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
             edges.push((u, v));
         }
         if ok {
-            return Graph::from_edges(n, edges);
+            return edges;
         }
     }
     // Fallback: pairing with collisions silently dropped (nearly regular).
@@ -214,8 +241,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
         .flat_map(|v| std::iter::repeat_n(v, d))
         .collect();
     stubs.shuffle(&mut rng);
-    let edges: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
-    Graph::from_edges(n, edges)
+    stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect()
 }
 
 /// Barabási–Albert preferential attachment: starts from a small clique and
@@ -386,40 +412,76 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     gb.build()
 }
 
-/// `rows × cols` grid, 4-neighbor connectivity. Node (r, c) has index
-/// `r * cols + c`.
-pub fn grid(rows: usize, cols: usize) -> Graph {
-    let mut b = GraphBuilder::new(rows * cols);
-    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1));
-            }
-            if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c));
-            }
-        }
-    }
-    b.build()
+/// Grid edges in canonical (strictly increasing) row-major order: each
+/// node emits its right then its down neighbor. Feeds both the sorted
+/// [`Graph`] fast path and the streaming CSR path.
+fn grid_edges(rows: usize, cols: usize) -> impl Iterator<Item = (u32, u32)> + Clone {
+    (0..rows * cols).flat_map(move |i| {
+        let (r, c) = (i / cols, i % cols);
+        let i = i as u32;
+        [
+            (c + 1 < cols).then_some((i, i + 1)),
+            (r + 1 < rows).then_some((i, i + cols as u32)),
+        ]
+        .into_iter()
+        .flatten()
+    })
 }
 
-/// `rows × cols` torus (grid with wraparound).
+/// Torus edges in canonical (strictly increasing) row-major order. Each
+/// node emits the edges it is the smaller endpoint of, in ascending
+/// neighbor order: right (`i+1`), the row wrap it owns when `c == 0`
+/// (`i + cols − 1`), down (`i + cols`), and the column wrap it owns when
+/// `r == 0` (`i + (rows−1)·cols`) — strictly increasing within a node for
+/// all `rows, cols ≥ 3`, so the whole stream is canonical.
+fn torus_edges(rows: usize, cols: usize) -> impl Iterator<Item = (u32, u32)> + Clone {
+    (0..rows * cols).flat_map(move |i| {
+        let (r, c) = (i / cols, i % cols);
+        let i = i as u32;
+        let w = cols as u32;
+        [
+            (c + 1 < cols).then_some((i, i + 1)),
+            (c == 0).then_some((i, i + w - 1)),
+            (r + 1 < rows).then_some((i, i + w)),
+            (r == 0).then_some((i, i + (rows as u32 - 1) * w)),
+        ]
+        .into_iter()
+        .flatten()
+    })
+}
+
+/// `rows × cols` grid, 4-neighbor connectivity. Node (r, c) has index
+/// `r * cols + c`. Streams edges in canonical row-major order, so the
+/// build is one linear sweep with no sort.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    Graph::from_sorted_edges(rows * cols, grid_edges(rows, cols))
+}
+
+/// [`grid`] built straight into a [`CsrAdjacency`] — no intermediate
+/// [`Graph`], for million-node distance workloads.
+pub fn grid_csr(rows: usize, cols: usize) -> CsrAdjacency {
+    CsrAdjacency::from_edges(rows * cols, grid_edges(rows, cols))
+}
+
+/// `rows × cols` torus (grid with wraparound). Streams edges in canonical
+/// row-major order, so the build is one linear sweep with no sort.
 ///
 /// # Panics
 ///
 /// Panics if either dimension is < 3 (wraparound would duplicate edges).
 pub fn torus(rows: usize, cols: usize) -> Graph {
     assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
-    let mut b = GraphBuilder::new(rows * cols);
-    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
-    for r in 0..rows {
-        for c in 0..cols {
-            b.add_edge(id(r, c), id(r, (c + 1) % cols));
-            b.add_edge(id(r, c), id((r + 1) % rows, c));
-        }
-    }
-    b.build()
+    Graph::from_sorted_edges(rows * cols, torus_edges(rows, cols))
+}
+
+/// [`torus`] built straight into a [`CsrAdjacency`].
+///
+/// # Panics
+///
+/// Panics if either dimension is < 3.
+pub fn torus_csr(rows: usize, cols: usize) -> CsrAdjacency {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
+    CsrAdjacency::from_edges(rows * cols, torus_edges(rows, cols))
 }
 
 /// d-dimensional hypercube on 2^d nodes (nodes adjacent iff their indices
@@ -566,6 +628,58 @@ mod tests {
         for v in h.nodes() {
             assert_eq!(h.degree(v), 4);
         }
+    }
+
+    #[test]
+    fn grid_torus_byte_identical_to_builder_constructors() {
+        // The pre-streaming constructors, verbatim: every edge through the
+        // builder's sort/dedup pass. The streaming generators must produce
+        // byte-identical graphs (same edge ids, same adjacency layout).
+        for (rows, cols) in [(3, 4), (5, 3), (7, 7), (3, 3), (1, 6), (4, 1)] {
+            let mut b = GraphBuilder::new(rows * cols);
+            let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if c + 1 < cols {
+                        b.add_edge(id(r, c), id(r, c + 1));
+                    }
+                    if r + 1 < rows {
+                        b.add_edge(id(r, c), id(r + 1, c));
+                    }
+                }
+            }
+            assert_eq!(grid(rows, cols), b.build(), "grid {rows}x{cols}");
+        }
+        for (rows, cols) in [(3, 3), (3, 5), (5, 3), (6, 7)] {
+            let mut b = GraphBuilder::new(rows * cols);
+            let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+            for r in 0..rows {
+                for c in 0..cols {
+                    b.add_edge(id(r, c), id(r, (c + 1) % cols));
+                    b.add_edge(id(r, c), id((r + 1) % rows, c));
+                }
+            }
+            assert_eq!(torus(rows, cols), b.build(), "torus {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn csr_generators_match_graph_generators() {
+        assert_eq!(grid_csr(5, 6), CsrAdjacency::from_graph(&grid(5, 6)));
+        assert_eq!(torus_csr(4, 5), CsrAdjacency::from_graph(&torus(4, 5)));
+        assert_eq!(
+            erdos_renyi_gnm_csr(80, 200, 13),
+            CsrAdjacency::from_graph(&erdos_renyi_gnm(80, 200, 13))
+        );
+        // Dense-complement sampling path too.
+        assert_eq!(
+            erdos_renyi_gnm_csr(30, 400, 13),
+            CsrAdjacency::from_graph(&erdos_renyi_gnm(30, 400, 13))
+        );
+        assert_eq!(
+            random_regular_csr(100, 4, 11),
+            CsrAdjacency::from_graph(&random_regular(100, 4, 11))
+        );
     }
 
     #[test]

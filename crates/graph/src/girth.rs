@@ -7,12 +7,17 @@
 
 use std::collections::VecDeque;
 
+use crate::distance::UNREACHABLE;
 use crate::graph::{EdgeId, Graph, NodeId};
 
 /// Length of the shortest cycle in `g`, or `None` if `g` is a forest.
 ///
 /// Delegates to the flat-frontier engine: one pruned BFS per vertex —
 /// the standard O(n·m) exact algorithm — over the shared CSR layout.
+/// Girth is inherently per-source work (the shared-bound pruning and
+/// non-tree-edge detection have no bit-parallel or bottom-up analogue), so
+/// it is unaffected by the engine's [`Strategy`](crate::engine::Strategy)
+/// picker: it already runs in the per-source mode on every graph.
 pub fn girth(g: &Graph) -> Option<u32> {
     crate::engine::DistanceEngine::new(g).girth()
 }
@@ -22,10 +27,10 @@ pub fn girth(g: &Graph) -> Option<u32> {
 pub fn girth_reference(g: &Graph) -> Option<u32> {
     let mut best: Option<u32> = None;
     let n = g.node_count();
-    let mut dist = vec![u32::MAX; n];
+    let mut dist = vec![UNREACHABLE; n];
     let mut via = vec![EdgeId(u32::MAX); n];
     for s in g.nodes() {
-        dist.fill(u32::MAX);
+        dist.fill(UNREACHABLE);
         let mut queue = VecDeque::new();
         dist[s.index()] = 0;
         via[s.index()] = EdgeId(u32::MAX);
@@ -42,7 +47,7 @@ pub fn girth_reference(g: &Graph) -> Option<u32> {
                 if e == via[u.index()] {
                     continue; // don't walk back along the tree edge
                 }
-                if dist[v.index()] == u32::MAX {
+                if dist[v.index()] == UNREACHABLE {
                     dist[v.index()] = du + 1;
                     via[v.index()] = e;
                     queue.push_back(v);

@@ -48,5 +48,5 @@ pub use distance::{
     verify_stretch_exact, verify_stretch_exact_weighted, StretchBound, StretchViolation,
 };
 pub use edgeset::EdgeSet;
-pub use engine::DistanceEngine;
+pub use engine::{DistanceEngine, Strategy, NO_SOURCE};
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};

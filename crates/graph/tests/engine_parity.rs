@@ -17,7 +17,8 @@ use spanner_graph::distance::{
 };
 use spanner_graph::girth::girth_reference;
 use spanner_graph::traversal::{bfs_distances, multi_source_bfs};
-use spanner_graph::{generators, DistanceEngine, EdgeSet, Graph, NodeId};
+use spanner_graph::weighted::{dijkstra, WeightedGraph, W_UNREACHABLE};
+use spanner_graph::{generators, DistanceEngine, EdgeSet, Graph, NodeId, Strategy, NO_SOURCE};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
@@ -49,6 +50,26 @@ fn random_graph(n: usize, m: usize, shape: u8, seed: u64) -> Graph {
 
 fn flat(reference: &[Option<u32>]) -> Vec<u32> {
     reference.iter().map(|d| d.unwrap_or(UNREACHABLE)).collect()
+}
+
+const STRATEGIES: [Strategy; 3] = [
+    Strategy::Auto,
+    Strategy::BitParallel,
+    Strategy::DirectionOptimizing,
+];
+
+/// A structured graph in one of six shapes: the high-diameter families the
+/// direction-optimizing path exists for (path, cycle, grid, torus) and the
+/// adversarial low-diameter ones (star, caveman).
+fn structured_graph(shape: u8, a: usize, b: usize) -> Graph {
+    match shape % 6 {
+        0 => generators::path(a * b),
+        1 => generators::cycle((a * b).max(3)),
+        2 => generators::grid(a, b),
+        3 => generators::torus(a.max(3), b.max(3)),
+        4 => generators::star(a * b),
+        _ => generators::caveman(a.clamp(1, 6), b.clamp(2, 12), a, 7),
+    }
 }
 
 proptest! {
@@ -125,6 +146,39 @@ proptest! {
     }
 
     #[test]
+    fn strategies_and_picker_match_reference_on_structured_shapes(
+        shape in 0u8..6,
+        a in 2usize..=12,
+        b in 3usize..=12,
+    ) {
+        let g = structured_graph(shape, a, b);
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let expect: Vec<u32> = sources
+            .iter()
+            .flat_map(|&s| flat(&bfs_distances(&g, s)))
+            .collect();
+        // Both forced strategies AND the Auto picker (whatever it probes
+        // to) must be byte-identical to the reference at every thread
+        // count — paths/cycles up to n=144 cross the probe's depth bound,
+        // so Auto resolves both ways across the case set.
+        for strategy in STRATEGIES {
+            for threads in THREAD_COUNTS {
+                let eng = DistanceEngine::new(&g)
+                    .with_threads(threads)
+                    .with_strategy(strategy);
+                prop_assert_eq!(
+                    &eng.many_distances(&sources),
+                    &expect,
+                    "strategy={} threads={}",
+                    strategy,
+                    threads
+                );
+                prop_assert_eq!(eng.diameter(), g.nodes().map(|v| eccentricity(&g, v)).max());
+            }
+        }
+    }
+
+    #[test]
     fn nearest_sources_matches_multi_source_reference(
         n in 1usize..=60,
         m in 0usize..=180,
@@ -148,4 +202,57 @@ proptest! {
             .collect();
         prop_assert_eq!(&got.source, &want_src);
     }
+}
+
+/// The one-sentinel contract on disconnected and single-node graphs:
+/// unreachable hop distances are [`UNREACHABLE`] everywhere (engine, APSP,
+/// multi-source), unattributed nodes are [`NO_SOURCE`], and weighted
+/// distances use [`W_UNREACHABLE`] — under every strategy.
+#[test]
+fn sentinel_regression_disconnected_graph() {
+    // Two components plus an isolated node.
+    let g = Graph::from_edges(5, [(0u32, 1), (2, 3)]);
+    for strategy in STRATEGIES {
+        let eng = DistanceEngine::new(&g).with_strategy(strategy);
+        assert_eq!(
+            eng.distances(NodeId(0)),
+            vec![0, 1, UNREACHABLE, UNREACHABLE, UNREACHABLE],
+            "strategy={strategy}"
+        );
+        let rows = eng.many_distances(&[NodeId(2), NodeId(4)]);
+        assert_eq!(rows[0..5], [UNREACHABLE, UNREACHABLE, 0, 1, UNREACHABLE]);
+        assert_eq!(
+            rows[5..10],
+            [UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]
+        );
+    }
+    let apsp = Apsp::new(&g);
+    assert_eq!(apsp.dist(NodeId(0), NodeId(4)), UNREACHABLE);
+    assert_eq!(apsp.dist(NodeId(1), NodeId(2)), UNREACHABLE);
+    let ms = DistanceEngine::new(&g).nearest_sources(&[NodeId(0)]);
+    assert_eq!(ms.dist, vec![0, 1, UNREACHABLE, UNREACHABLE, UNREACHABLE]);
+    assert_eq!(ms.source[2], NO_SOURCE);
+    assert_eq!(ms.source[4], NO_SOURCE);
+    // The weighted sentinel is distinct (u64) but plays the same role.
+    let wg = WeightedGraph::new(g.clone(), vec![2; g.edge_count()]);
+    let wd = dijkstra(&wg, NodeId(0));
+    assert_eq!(wd[1], 2);
+    assert_eq!(wd[2], W_UNREACHABLE);
+    assert_eq!(wd[4], W_UNREACHABLE);
+}
+
+#[test]
+fn sentinel_regression_single_node_graph() {
+    let one = Graph::empty(1);
+    for strategy in STRATEGIES {
+        let eng = DistanceEngine::new(&one).with_strategy(strategy);
+        assert_eq!(eng.distances(NodeId(0)), vec![0]);
+        assert_eq!(eng.many_distances(&[NodeId(0)]), vec![0]);
+        assert_eq!(eng.diameter(), None, "single node has no diameter");
+    }
+    assert_eq!(diameter_exact(&one), None);
+    assert_eq!(Apsp::new(&one).dist(NodeId(0), NodeId(0)), 0);
+    let ms = DistanceEngine::new(&one).nearest_sources(&[]);
+    assert_eq!(ms.dist, vec![UNREACHABLE]);
+    assert_eq!(ms.source, vec![NO_SOURCE]);
 }

@@ -96,7 +96,7 @@ impl DistanceOracle {
         // the induced spanner.
         let mut bunch: Vec<HashMap<NodeId, u32>> = vec![HashMap::new(); n];
         let mut spanner_edges = EdgeSet::new(g);
-        let mut dist = vec![u32::MAX; n];
+        let mut dist = vec![UNREACHABLE; n];
         let mut parent: Vec<NodeId> = vec![NodeId(0); n];
         let mut touched: Vec<usize> = Vec::new();
         for w in g.nodes() {
@@ -110,7 +110,7 @@ impl DistanceOracle {
             while let Some(x) = queue.pop_front() {
                 let dx = dist[x.index()];
                 for &(y, _) in g.neighbors(x) {
-                    if dist[y.index()] != u32::MAX {
+                    if dist[y.index()] != UNREACHABLE {
                         if dist[y.index()] == dx + 1 && x < parent[y.index()] {
                             parent[y.index()] = x;
                         }
@@ -139,7 +139,7 @@ impl DistanceOracle {
                     let e = g.find_edge(v, parent[vi]).expect("tree edge");
                     spanner_edges.insert(e);
                 }
-                dist[vi] = u32::MAX;
+                dist[vi] = UNREACHABLE;
             }
             touched.clear();
         }
@@ -183,7 +183,9 @@ impl DistanceOracle {
 
     /// Estimated distance between `u` and `v`: exact distances compose as
     /// `δ(w, u) + δ(w, v)` for the first witness `w` of one endpoint lying
-    /// in the other's bunch. Returns `u32::MAX` for disconnected pairs.
+    /// in the other's bunch. Returns
+    /// [`UNREACHABLE`] for
+    /// disconnected pairs.
     pub fn query(&self, mut u: NodeId, mut v: NodeId) -> u32 {
         if u == v {
             return 0;

@@ -16,11 +16,14 @@
 //! min-id tie-break) and *bunches*
 //! `B(v) = ∪_i { w ∈ A_i \ A_{i+1} : δ(w, v) < δ(v, A_{i+1}) }`.
 
+#![deny(missing_docs)]
+
 pub mod routing;
 
 pub use routing::{Address, RoutingScheme};
 
 use std::collections::HashMap;
+use std::fmt;
 
 use rand::Rng;
 
@@ -28,6 +31,60 @@ use spanner_graph::distance::UNREACHABLE;
 use spanner_graph::{DistanceEngine, EdgeSet, Graph, NodeId};
 use spanner_netsim::rng::node_rng;
 use ultrasparse::Spanner;
+
+/// Typed error returned by the fallible query endpoints
+/// ([`DistanceOracle::try_query`], [`RoutingScheme::try_route`], …): the
+/// caller supplied a node id that is not a vertex of the graph the
+/// structure was built over.
+///
+/// The panicking endpoints ([`DistanceOracle::query`],
+/// [`RoutingScheme::route`]) remain for callers that control their
+/// inputs; serving layers, which face untrusted ids, use the `try_*`
+/// forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The node id is out of range for the underlying graph.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+        /// Number of vertices of the graph; valid ids are `0..nodes`.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QueryError::UnknownNode { node, nodes } => {
+                write!(f, "unknown node {node}: graph has {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Per-query cost counters — the message/word lens of the Bitton et al.
+/// message-reduction line of work applied to oracle queries: how many
+/// table reads a query performed, independent of wall-clock time.
+///
+/// A bunch probe touches one hash-table entry (two `O(log n)`-bit words:
+/// key and distance); a witness read touches one entry of the `p_i`
+/// witness array (also two words). `words()` is the total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Hash probes into bunch tables `B(·)`.
+    pub bunch_probes: u32,
+    /// Reads of witness entries `p_i(·)`.
+    pub witness_reads: u32,
+}
+
+impl QueryCost {
+    /// Total `O(log n)`-bit words touched (two per probe/read).
+    pub fn words(&self) -> u32 {
+        2 * (self.bunch_probes + self.witness_reads)
+    }
+}
 
 /// A Thorup–Zwick approximate distance oracle with stretch 2k−1.
 #[derive(Debug, Clone)]
@@ -175,6 +232,28 @@ impl DistanceOracle {
         2 * self.k - 1
     }
 
+    /// The number of levels `k` the oracle was built with.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of vertices of the graph the oracle was built over; valid
+    /// query ids are `0..node_count()`.
+    pub fn node_count(&self) -> usize {
+        self.witness[0].len()
+    }
+
+    fn check(&self, v: NodeId) -> Result<(), QueryError> {
+        if v.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(QueryError::UnknownNode {
+                node: v,
+                nodes: self.node_count(),
+            })
+        }
+    }
+
     /// Total bunch entries — the oracle's space, up to the O(k·n) witness
     /// arrays.
     pub fn size(&self) -> usize {
@@ -186,33 +265,105 @@ impl DistanceOracle {
     /// in the other's bunch. Returns
     /// [`UNREACHABLE`] for
     /// disconnected pairs.
-    pub fn query(&self, mut u: NodeId, mut v: NodeId) -> u32 {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is not a vertex of the underlying graph; use
+    /// [`DistanceOracle::try_query`] for untrusted ids.
+    pub fn query(&self, u: NodeId, v: NodeId) -> u32 {
+        match self.query_cost(u, v) {
+            Ok((d, _)) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`DistanceOracle::query`]: returns a typed
+    /// [`QueryError`] instead of panicking on out-of-range ids.
+    pub fn try_query(&self, u: NodeId, v: NodeId) -> Result<u32, QueryError> {
+        self.query_cost(u, v).map(|(d, _)| d)
+    }
+
+    /// [`DistanceOracle::try_query`] plus the per-query [`QueryCost`]
+    /// (bunch probes and witness reads performed by the query chain).
+    pub fn query_cost(&self, mut u: NodeId, mut v: NodeId) -> Result<(u32, QueryCost), QueryError> {
+        self.check(u)?;
+        self.check(v)?;
+        let mut cost = QueryCost::default();
         if u == v {
-            return 0;
+            return Ok((0, cost));
         }
         let mut w = u;
         let mut dwu = 0u32;
         for i in 0..self.k as usize {
             // Invariant: w = p_i(u) with δ(w, u) = dwu.
             if w == v {
-                return dwu;
+                return Ok((dwu, cost));
             }
+            cost.bunch_probes += 1;
             if let Some(&dwv) = self.bunch[v.index()].get(&w) {
-                return dwu + dwv;
+                return Ok((dwu + dwv, cost));
             }
             if i + 1 == self.k as usize {
                 break;
             }
             std::mem::swap(&mut u, &mut v);
+            cost.witness_reads += 1;
             match self.witness[i + 1][u.index()] {
                 Some((d, s)) => {
                     dwu = d;
                     w = s;
                 }
-                None => return UNREACHABLE,
+                None => return Ok((UNREACHABLE, cost)),
             }
         }
-        UNREACHABLE
+        Ok((UNREACHABLE, cost))
+    }
+
+    /// The direct-probe leg of the query: `Some(0)` if `u == v`, the exact
+    /// distance `δ(u, v)` if `u ∈ B(v)`, `None` otherwise.
+    ///
+    /// This is the first step of the standard query chain, split out so a
+    /// serving layer can resolve it before consulting a result cache —
+    /// direct hits are exact (tighter than any landmark leg) and must win
+    /// for cached and uncached responses to agree byte-for-byte.
+    pub fn direct_distance(&self, u: NodeId, v: NodeId) -> Result<Option<u32>, QueryError> {
+        self.check(u)?;
+        self.check(v)?;
+        if u == v {
+            return Ok(Some(0));
+        }
+        Ok(self.bunch[v.index()].get(&u).copied())
+    }
+
+    /// The level-1 witness `p_1(v)` of `v` — its *landmark bucket* — and
+    /// the distance to it, or `None` if `A_1` is unreachable from `v` (or
+    /// `k == 1`, where no sampled level exists).
+    pub fn sampled_witness(&self, v: NodeId) -> Result<Option<(u32, NodeId)>, QueryError> {
+        self.check(v)?;
+        Ok(self.witness.get(1).and_then(|w| w[v.index()]))
+    }
+
+    /// The landmark leg `δ(w, u)` resolved through `u`'s bunch, where `w`
+    /// must be a level-1 witness (a member of `A_1`); returns
+    /// [`UNREACHABLE`] if `w ∉ B(u)` (different component).
+    ///
+    /// For `k = 2` this is exactly the tail of the query chain after a
+    /// direct-probe miss: every reachable `A_1` vertex lies in every
+    /// bunch (the top level has no truncation), so
+    /// `query(u, v) = δ(v, p_1(v)) + landmark_leg(p_1(v), u)` whenever the
+    /// direct probe misses. The value is a pure function of `(w, u)` —
+    /// the soundness basis for landmark-bucket result caching (see
+    /// DESIGN.md §2.11).
+    pub fn landmark_leg(&self, w: NodeId, u: NodeId) -> Result<u32, QueryError> {
+        self.check(w)?;
+        self.check(u)?;
+        if w == u {
+            return Ok(0);
+        }
+        Ok(self.bunch[u.index()]
+            .get(&w)
+            .copied()
+            .unwrap_or(UNREACHABLE))
     }
 
     /// The (2k−1)-spanner induced by the oracle's shortest-path trees.
@@ -333,6 +484,90 @@ mod tests {
             for est in [oracle.query(u, v), oracle.query(v, u)] {
                 assert!(est as u64 >= exact);
                 assert!(est as u64 <= 5 * exact);
+            }
+        }
+    }
+
+    #[test]
+    fn try_query_rejects_unknown_nodes_on_both_endpoints() {
+        let g = generators::connected_gnm(40, 120, 11);
+        let oracle = DistanceOracle::build(&g, 2, 1);
+        let bad = NodeId(40);
+        let err = QueryError::UnknownNode {
+            node: bad,
+            nodes: 40,
+        };
+        assert_eq!(oracle.try_query(bad, NodeId(0)), Err(err));
+        assert_eq!(oracle.try_query(NodeId(0), bad), Err(err));
+        assert_eq!(
+            oracle.try_query(NodeId(u32::MAX), NodeId(0)),
+            Err(QueryError::UnknownNode {
+                node: NodeId(u32::MAX),
+                nodes: 40
+            })
+        );
+        // In-range ids agree with the panicking endpoint.
+        for (a, b) in [(0u32, 1), (3, 17), (39, 0)] {
+            assert_eq!(
+                oracle.try_query(NodeId(a), NodeId(b)),
+                Ok(oracle.query(NodeId(a), NodeId(b)))
+            );
+        }
+        // The decomposed helpers reject bad ids too.
+        assert!(oracle.direct_distance(bad, NodeId(0)).is_err());
+        assert!(oracle.direct_distance(NodeId(0), bad).is_err());
+        assert!(oracle.sampled_witness(bad).is_err());
+        assert!(oracle.landmark_leg(bad, NodeId(0)).is_err());
+        assert!(oracle.landmark_leg(NodeId(0), bad).is_err());
+    }
+
+    #[test]
+    fn query_cost_counts_table_reads() {
+        let g = generators::connected_gnm(60, 200, 12);
+        let oracle = DistanceOracle::build(&g, 3, 5);
+        let (_, zero) = oracle.query_cost(NodeId(7), NodeId(7)).unwrap();
+        assert_eq!(zero, QueryCost::default());
+        assert_eq!(zero.words(), 0);
+        let mut max_probes = 0;
+        for (a, b) in [(0u32, 1), (2, 50), (13, 44), (59, 3)] {
+            let (d, cost) = oracle.query_cost(NodeId(a), NodeId(b)).unwrap();
+            assert_eq!(d, oracle.query(NodeId(a), NodeId(b)));
+            // The chain does at most k bunch probes and k−1 witness reads.
+            assert!(cost.bunch_probes >= 1 && cost.bunch_probes <= oracle.k());
+            assert!(cost.witness_reads < oracle.k());
+            assert_eq!(cost.words(), 2 * (cost.bunch_probes + cost.witness_reads));
+            max_probes = max_probes.max(cost.bunch_probes);
+        }
+        assert!(max_probes >= 1);
+    }
+
+    /// The serving layer's decomposition (direct probe, then landmark leg
+    /// through the level-1 witness of the second endpoint) must reproduce
+    /// `query` exactly for k = 2 — on connected and disconnected graphs.
+    #[test]
+    fn decomposed_k2_query_matches_query() {
+        let graphs = [
+            generators::connected_gnm(80, 300, 21),
+            Graph::from_edges(9, [(0u32, 1), (1, 2), (2, 3), (5, 6), (6, 7), (7, 8)]),
+            generators::grid(5, 7),
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            let oracle = DistanceOracle::build(g, 2, 17);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let expect = oracle.query(u, v);
+                    let got = match oracle.direct_distance(u, v).unwrap() {
+                        Some(d) => d,
+                        None => match oracle.sampled_witness(v).unwrap() {
+                            None => UNREACHABLE,
+                            Some((dv, w)) => match oracle.landmark_leg(w, u).unwrap() {
+                                UNREACHABLE => UNREACHABLE,
+                                leg => dv + leg,
+                            },
+                        },
+                    };
+                    assert_eq!(got, expect, "graph {gi}, pair ({u},{v})");
+                }
             }
         }
     }

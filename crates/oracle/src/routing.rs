@@ -27,6 +27,8 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
+use crate::QueryError;
+
 use spanner_graph::traversal::{bfs_tree, multi_source_bfs};
 use spanner_graph::{Graph, NodeId};
 use spanner_netsim::rng::node_rng;
@@ -195,9 +197,52 @@ impl RoutingScheme {
             + self.cluster_hop.iter().map(HashMap::len).sum::<usize>()
     }
 
+    /// Number of vertices of the graph the scheme was built over; valid
+    /// ids are `0..node_count()`.
+    pub fn node_count(&self) -> usize {
+        self.addresses.len()
+    }
+
+    fn check(&self, v: NodeId) -> Result<(), QueryError> {
+        if v.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(QueryError::UnknownNode {
+                node: v,
+                nodes: self.node_count(),
+            })
+        }
+    }
+
     /// The address of `v` (what a sender must know).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the underlying graph; use
+    /// [`RoutingScheme::try_address`] for untrusted ids.
     pub fn address(&self, v: NodeId) -> &Address {
         &self.addresses[v.index()]
+    }
+
+    /// Fallible [`RoutingScheme::address`]: returns a typed
+    /// [`QueryError`] instead of panicking on an out-of-range id.
+    pub fn try_address(&self, v: NodeId) -> Result<&Address, QueryError> {
+        self.check(v)?;
+        Ok(&self.addresses[v.index()])
+    }
+
+    /// Routes from `src` to `target` in one call, validating both ids:
+    /// [`RoutingScheme::try_address`] + [`RoutingScheme::route`] with a
+    /// typed [`QueryError`] instead of a panic on out-of-range input.
+    /// `Ok(None)` means the endpoints lie in different components.
+    pub fn try_route(
+        &self,
+        src: NodeId,
+        target: NodeId,
+    ) -> Result<Option<Vec<NodeId>>, QueryError> {
+        self.check(src)?;
+        let addr = self.try_address(target)?;
+        Ok(self.route(src, addr))
     }
 
     /// Routes a packet from `src` to `addr`, returning the vertex path
@@ -314,6 +359,28 @@ mod tests {
         // Addresses are short on a dense graph.
         let max_label = g.nodes().map(|v| scheme.address(v).words()).max().unwrap();
         assert!(max_label < 16, "address label {max_label} words");
+    }
+
+    #[test]
+    fn try_route_rejects_unknown_nodes_on_both_endpoints() {
+        let g = generators::connected_gnm(30, 90, 13);
+        let scheme = RoutingScheme::build(&g, 2);
+        let bad = NodeId(30);
+        let err = QueryError::UnknownNode {
+            node: bad,
+            nodes: 30,
+        };
+        assert_eq!(scheme.try_route(bad, NodeId(0)), Err(err));
+        assert_eq!(scheme.try_route(NodeId(0), bad), Err(err));
+        assert!(scheme.try_address(bad).is_err());
+        // Valid pairs agree with the panicking path.
+        for (a, b) in [(0u32, 29), (7, 7), (12, 3)] {
+            let (u, v) = (NodeId(a), NodeId(b));
+            assert_eq!(
+                scheme.try_route(u, v),
+                Ok(scheme.route(u, scheme.address(v)))
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Bounded LRU result cache for landmark-leg distances.
+//!
+//! The server caches the *landmark leg* of k = 2 oracle queries: the
+//! value `δ(w, u)` keyed by `(w, u)` where `w` is a level-1 witness (a
+//! landmark). The value is a pure function of the key — see
+//! [`spanner_oracle::DistanceOracle::landmark_leg`] — so a hit and a miss
+//! always produce the same response; the cache can only change *work*,
+//! never *answers*. Keys pack two `u32` ids into one `u64`; values are
+//! `u32` distances (the `UNREACHABLE` sentinel is cached too, so
+//! cross-component queries also benefit).
+//!
+//! The implementation is a plain `HashMap` into slab-allocated
+//! doubly-linked slots (index-linked, no pointers, no unsafe): `get`
+//! moves the entry to the MRU end, `insert` evicts the LRU entry when the
+//! map is at capacity. All mutation happens in the server's sequential
+//! phases (DESIGN.md §2.11), so there is no interior locking.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: u64,
+    val: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// A bounded LRU map from packed `(landmark, node)` keys to distances.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    head: u32,
+    tail: u32,
+}
+
+/// Packs a `(landmark, node)` pair into a cache key.
+pub fn pack_key(landmark: u32, node: u32) -> u64 {
+    ((landmark as u64) << 32) | node as u64
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity` entries. A capacity of 0
+    /// disables caching (every `get` misses, `insert` is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// The maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn detach(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = &self.slots[i as usize];
+            (s.prev, s.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        self.slots[i as usize].prev = NIL;
+        self.slots[i as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<u32> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.detach(i);
+            self.push_front(i);
+        }
+        Some(self.slots[i as usize].val)
+    }
+
+    /// Inserts (or refreshes) `key → val`; returns `true` if an older
+    /// entry was evicted to make room.
+    pub fn insert(&mut self, key: u64, val: u32) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i as usize].val = val;
+            if self.head != i {
+                self.detach(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        if self.map.len() == self.capacity {
+            // Evict the LRU entry and reuse its slot.
+            let i = self.tail;
+            self.detach(i);
+            let old_key = self.slots[i as usize].key;
+            self.map.remove(&old_key);
+            self.slots[i as usize].key = key;
+            self.slots[i as usize].val = val;
+            self.map.insert(key, i);
+            self.push_front(i);
+            return true;
+        }
+        let i = self.slots.len() as u32;
+        self.slots.push(Slot {
+            key,
+            val,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, i);
+        self.push_front(i);
+        false
+    }
+
+    /// Removes every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert!(!c.insert(1, 10));
+        assert!(!c.insert(2, 20));
+        assert_eq!(c.get(1), Some(10)); // 1 is now MRU
+        assert!(c.insert(3, 30)); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(10));
+        assert_eq!(c.get(3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn update_refreshes_without_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(!c.insert(1, 11)); // update, no eviction
+        assert!(c.insert(3, 30)); // evicts 2 (LRU after 1's refresh)
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.get(2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        assert!(!c.insert(1, 10));
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        for k in 0..4u64 {
+            c.insert(k, k as u32);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(0), None);
+        c.insert(9, 9);
+        assert_eq!(c.get(9), Some(9));
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_churn() {
+        let mut c = LruCache::new(8);
+        for k in 0..1000u64 {
+            c.insert(k % 37, k as u32);
+            assert!(c.len() <= 8);
+        }
+        // The 8 most recently inserted distinct keys survive.
+        let mut live = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for k in (0..1000u64).rev() {
+            if seen.insert(k % 37) {
+                live.push(k % 37);
+                if live.len() == 8 {
+                    break;
+                }
+            }
+        }
+        for &k in &live {
+            assert!(c.get(k).is_some(), "key {k} should be resident");
+        }
+    }
+
+    #[test]
+    fn pack_key_is_injective_on_u32_pairs() {
+        assert_ne!(pack_key(1, 2), pack_key(2, 1));
+        assert_eq!(pack_key(u32::MAX, 0) >> 32, u32::MAX as u64);
+        assert_eq!(pack_key(7, 9) & 0xFFFF_FFFF, 9);
+    }
+}

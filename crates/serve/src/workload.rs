@@ -1,0 +1,201 @@
+//! Deterministic mixed read workloads for the load generator.
+//!
+//! A workload is a fixed-length stream of DIST/ROUTE endpoint pairs drawn
+//! from two populations: a fraction [`WorkloadSpec::zipf_frac`] of *hot*
+//! queries whose endpoints are Zipf-distributed over the node ids (the
+//! classic skewed serving pattern — a small set of popular vertices
+//! absorbs most traffic, which is what makes landmark-bucket caching pay
+//! off), and the remainder *cold* queries with uniformly random
+//! endpoints. Everything is a pure function of the spec, so the same
+//! spec replayed at any thread count produces the same stream — the basis
+//! of the loadgen's determinism check.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of vertices to draw endpoints from (`0..nodes`).
+    pub nodes: u32,
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Fraction of queries whose endpoints are Zipf-distributed.
+    pub zipf_frac: f64,
+    /// Zipf skew θ (weights `(i+1)^{-θ}`); ~0.99 is the classic
+    /// YCSB-style hot-spot setting.
+    pub zipf_theta: f64,
+    /// Fraction of queries that are ROUTE (the rest are DIST).
+    pub route_frac: f64,
+    /// Seed; equal specs generate equal streams.
+    pub seed: u64,
+}
+
+/// One generated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPair {
+    /// `true` for ROUTE, `false` for DIST.
+    pub route: bool,
+    /// First endpoint.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+}
+
+/// A Zipf(θ) sampler over `0..n` via inverse transform on the cumulative
+/// weight table (exact, O(log n) per sample).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for ids `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not finite and non-negative.
+    pub fn new(n: u32, theta: f64) -> Self {
+        assert!(n >= 1, "zipf needs at least one id");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "invalid zipf theta {theta}"
+        );
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draws one id, most probable first (id 0 is the hottest).
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let x = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < x) as u32
+    }
+}
+
+/// Generates the full query stream for `spec`. Deterministic: equal specs
+/// yield equal streams.
+pub fn generate(spec: &WorkloadSpec) -> Vec<QueryPair> {
+    assert!(spec.nodes >= 1, "workload needs at least one node");
+    assert!(
+        (0.0..=1.0).contains(&spec.zipf_frac),
+        "zipf_frac out of [0,1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&spec.route_frac),
+        "route_frac out of [0,1]"
+    );
+    let zipf = Zipf::new(spec.nodes, spec.zipf_theta);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut out = Vec::with_capacity(spec.queries);
+    for _ in 0..spec.queries {
+        let hot = rng.gen::<f64>() < spec.zipf_frac;
+        let route = rng.gen::<f64>() < spec.route_frac;
+        let (u, v) = if hot {
+            (zipf.sample(&mut rng), zipf.sample(&mut rng))
+        } else {
+            (rng.gen_range(0..spec.nodes), rng.gen_range(0..spec.nodes))
+        };
+        out.push(QueryPair { route, u, v });
+    }
+    out
+}
+
+/// Renders a slice of queries as one `BATCH` request: the header line
+/// followed by one DIST/ROUTE line per query (the loadgen's wire format).
+pub fn batch_script(queries: &[QueryPair]) -> String {
+    let mut s = format!("BATCH {}\n", queries.len());
+    for q in queries {
+        let cmd = if q.route { "ROUTE" } else { "DIST" };
+        s.push_str(cmd);
+        s.push(' ');
+        s.push_str(&q.u.to_string());
+        s.push(' ');
+        s.push_str(&q.v.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            nodes: 1000,
+            queries: 5000,
+            zipf_frac: 0.8,
+            zipf_theta: 0.99,
+            route_frac: 0.25,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn deterministic_in_spec() {
+        assert_eq!(generate(&spec()), generate(&spec()));
+        let mut other = spec();
+        other.seed += 1;
+        assert_ne!(generate(&spec()), generate(&other));
+    }
+
+    #[test]
+    fn endpoints_in_range_and_mix_close_to_spec() {
+        let s = spec();
+        let qs = generate(&s);
+        assert_eq!(qs.len(), s.queries);
+        let routes = qs.iter().filter(|q| q.route).count() as f64 / qs.len() as f64;
+        assert!((routes - s.route_frac).abs() < 0.05, "route mix {routes}");
+        for q in &qs {
+            assert!(q.u < s.nodes && q.v < s.nodes);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_uniform_is_not() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let zipf = Zipf::new(1000, 0.99);
+        let mut hits0 = 0usize;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if zipf.sample(&mut rng) == 0 {
+                hits0 += 1;
+            }
+        }
+        // P(0) = 1/H_1000 ≈ 0.13 at θ = 0.99 — far above uniform 0.001.
+        let p0 = hits0 as f64 / samples as f64;
+        assert!(p0 > 0.05, "zipf head probability {p0}");
+        // θ = 0 degenerates to uniform.
+        let uni = Zipf::new(1000, 0.0);
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            if uni.sample(&mut rng) == 0 {
+                hits += 1;
+            }
+        }
+        assert!((hits as f64 / samples as f64) < 0.01);
+    }
+
+    #[test]
+    fn batch_script_shape() {
+        let qs = [
+            QueryPair {
+                route: false,
+                u: 1,
+                v: 2,
+            },
+            QueryPair {
+                route: true,
+                u: 3,
+                v: 4,
+            },
+        ];
+        assert_eq!(batch_script(&qs), "BATCH 2\nDIST 1 2\nROUTE 3 4\n");
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`baselines`] — comparison algorithms from the paper's Fig. 1,
 //! * [`lowerbound`] — the Sect. 3 lower-bound gadget and experiments,
 //! * [`oracle`] — approximate distance oracles (the conclusion's
-//!   application domain).
+//!   application domain),
+//! * [`serve`] — the batched distance/routing query server over the
+//!   oracle (PROTOCOL.md line protocol, result cache, load generator
+//!   workloads).
 //!
 //! # Example
 //!
@@ -27,4 +30,5 @@ pub use spanner_graph as graph;
 pub use spanner_lowerbound as lowerbound;
 pub use spanner_netsim as netsim;
 pub use spanner_oracle as oracle;
+pub use spanner_serve as serve;
 pub use ultrasparse as core;

@@ -19,7 +19,8 @@
 
 use spanner_graph::{EdgeId, EdgeSet, Graph, NodeId};
 use spanner_netsim::{
-    Ctx, FaultPlan, MessageBudget, Network, NullSink, Protocol, RunError, TraceSink,
+    AsyncNetwork, Ctx, FaultPlan, MessageBudget, Network, NullSink, Protocol, RunError,
+    Synchronizer, TraceSink,
 };
 use ultrasparse::expand::ClusterSampler;
 use ultrasparse::{FaultError, Spanner};
@@ -322,6 +323,54 @@ pub fn build_distributed_traced(
     })
 }
 
+/// Like [`build_distributed`], executed on the event-driven asynchronous
+/// simulator with per-link latencies from `delays` and round semantics
+/// recovered by `synchronizer` (see [`spanner_netsim::AsyncNetwork`]).
+/// Builds the exact spanner of [`build_distributed`] for every delay plan,
+/// with async cost counters added to the metrics.
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`build_distributed`] does.
+pub fn build_distributed_async(
+    g: &Graph,
+    params: &BaswanaSenParams,
+    seed: u64,
+    delays: &FaultPlan,
+    synchronizer: Synchronizer,
+) -> Result<Spanner, RunError> {
+    let mut net = AsyncNetwork::new(g, MessageBudget::Words(2), seed)
+        .with_delays(delays.clone())
+        .with_synchronizer(synchronizer);
+    let n = g.node_count();
+    let p = params.probability(n);
+    let states = net.run(
+        |v, _| BsNode {
+            params: *params,
+            sampler: ClusterSampler::new(seed),
+            p,
+            cluster: Some(v),
+            chosen: Vec::new(),
+            iter: 0,
+            finished: false,
+        },
+        params.k + 4,
+    )?;
+    let mut edges = EdgeSet::new(g);
+    for (v, st) in states.iter().enumerate() {
+        for &w in &st.chosen {
+            let e = g
+                .find_edge(NodeId(v as u32), w)
+                .expect("chosen edge exists");
+            edges.insert(e);
+        }
+    }
+    Ok(Spanner {
+        edges,
+        metrics: Some(net.metrics()),
+    })
+}
+
 /// Runs the distributed Baswana–Sen protocol under a fault schedule.
 ///
 /// Never panics and never returns an unchecked spanner: the surviving
@@ -334,6 +383,7 @@ pub fn build_distributed_traced(
 /// [`FaultError::Run`] when the simulated run fails;
 /// [`FaultError::Uncertified`] when the surviving output is not a
 /// certified (2k−1)-spanner.
+#[allow(clippy::result_large_err)] // error carries full RunMetrics by design
 pub fn build_distributed_faulted(
     g: &Graph,
     params: &BaswanaSenParams,

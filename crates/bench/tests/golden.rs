@@ -138,6 +138,49 @@ fn exp_skeleton_size_tiny_matches_golden() {
     assert_matches_golden("exp_skeleton_size.tiny.txt", &normalize_secs(&out));
 }
 
+/// Drops the `wrote <path>` artifact line: the JSON path is
+/// machine-dependent (the table above it is what the snapshot pins).
+fn strip_artifact_line(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.starts_with("wrote "))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// The async experiment's table is fully deterministic — including the
+/// simulated-time column, which the golden snapshot pins on purpose (the
+/// event clock is seeded, thread-count-independent state, not wall time);
+/// only the trailing `secs` column is normalized.
+#[test]
+fn exp_async_messages_tiny_matches_golden() {
+    let json = std::env::temp_dir().join("BENCH_async.golden-test.json");
+    let json = json.to_str().expect("utf-8 temp path");
+    let out = run(
+        env!("CARGO_BIN_EXE_exp_async_messages"),
+        &["--tiny", "--json", json],
+    );
+    assert_matches_golden(
+        "exp_async_messages.tiny.txt",
+        &strip_artifact_line(&normalize_secs(&out)),
+    );
+    let artifact = std::fs::read_to_string(json).expect("JSON artifact written");
+    assert!(artifact.contains("\"experiment\": \"exp_async_messages\""));
+    assert!(artifact.contains("\"alpha\""));
+    assert!(artifact.contains("\"skeleton\""));
+}
+
+/// Repeat invocations are byte-identical modulo wall time — the acceptance
+/// criterion's determinism half, checked process-to-process.
+#[test]
+fn exp_async_messages_tiny_repeats_identically() {
+    let json = std::env::temp_dir().join("BENCH_async.repeat-test.json");
+    let json = json.to_str().expect("utf-8 temp path");
+    let args = ["--tiny", "--json", json];
+    let first = normalize_secs(&run(env!("CARGO_BIN_EXE_exp_async_messages"), &args));
+    let second = normalize_secs(&run(env!("CARGO_BIN_EXE_exp_async_messages"), &args));
+    assert_eq!(first, second, "repeat run drifted");
+}
+
 #[test]
 fn faults_flag_runs_and_reports_counters() {
     let out = run(

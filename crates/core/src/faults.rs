@@ -77,6 +77,9 @@ impl std::error::Error for FaultError {}
 ///
 /// [`FaultError::Run`] for simulator errors; [`FaultError::Uncertified`]
 /// for contained panics, non-spanning output, or a failed `check`.
+// The error intentionally carries the run's full `RunMetrics` for
+// post-mortem accounting; callers match on it, so it is not boxed.
+#[allow(clippy::result_large_err)]
 pub fn build_certified<B, M, C>(
     g: &Graph,
     build: B,

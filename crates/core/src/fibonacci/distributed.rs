@@ -40,8 +40,8 @@ use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
 use spanner_netsim::{
-    Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol,
-    RunError, TraceSink,
+    AsyncNetwork, Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork,
+    Protocol, RunError, Synchronizer, TraceSink,
 };
 
 use crate::faults::FaultError;
@@ -588,6 +588,40 @@ pub fn build_distributed_traced(
     Ok(collect_spanner(g, &states, net.metrics()))
 }
 
+/// Like [`build_distributed`], executed on the event-driven asynchronous
+/// simulator with per-link latencies from `delays` and round semantics
+/// recovered by `synchronizer` (see [`spanner_netsim::AsyncNetwork`]).
+/// Builds the exact spanner of [`build_distributed`] for every delay plan,
+/// with async cost counters added to the metrics.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_async(
+    g: &Graph,
+    params: &FibonacciParams,
+    seed: u64,
+    delays: &FaultPlan,
+    synchronizer: Synchronizer,
+) -> Result<Spanner, RunError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let levels = sample_levels(g, params, seed);
+    let budget = theorem8_budget(n, params.t);
+    let cfg = Arc::new(FibConfig::build(params, n, budget, diameter_cap(g)));
+    let mut net = AsyncNetwork::new(g, budget, seed)
+        .with_delays(delays.clone())
+        .with_synchronizer(synchronizer);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run(
+        |v, _| FibNode::new(Arc::clone(&cfg), levels[v.index()]),
+        max_rounds,
+    )?;
+    Ok(collect_spanner(g, &states, net.metrics()))
+}
+
 /// Like [`build_distributed`], executed on `threads` worker threads.
 ///
 /// Deterministic in `seed` and independent of `threads`: produces exactly
@@ -651,6 +685,7 @@ pub fn build_distributed_parallel_traced(
 /// [`FaultError::Run`] when the simulated
 /// run fails, [`FaultError::Uncertified`]
 /// when the surviving output is not a certified Fibonacci spanner.
+#[allow(clippy::result_large_err)] // error carries full RunMetrics by design
 pub fn build_distributed_faulted(
     g: &Graph,
     params: &FibonacciParams,

@@ -46,8 +46,8 @@ use std::sync::Arc;
 
 use spanner_graph::{EdgeSet, Graph, NodeId};
 use spanner_netsim::{
-    Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork, Protocol,
-    RunError, TraceSink,
+    AsyncNetwork, Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork,
+    Protocol, RunError, Synchronizer, TraceSink,
 };
 
 use crate::expand::ClusterSampler;
@@ -625,6 +625,44 @@ pub fn build_distributed_traced(
     Ok(collect_spanner(g, &states, net.metrics()))
 }
 
+/// Like [`build_distributed`], executed on the event-driven asynchronous
+/// simulator: per-link latencies come from `delays` (see
+/// [`spanner_netsim::FaultPlan::link_latency`]; only the plan's delay
+/// clause is consulted), and `synchronizer` recovers round semantics.
+///
+/// Because the synchronizer is exact, the built spanner and protocol-level
+/// metrics equal [`build_distributed`]'s for every delay plan (asserted in
+/// `tests/synchronizer_conformance.rs`); the run additionally reports
+/// events, synchronizer traffic, and the simulated-time horizon. Passing a
+/// previously built spanner as [`Synchronizer::Skeleton`] edges reproduces
+/// the Bitton et al. message-reduction transformation.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_async(
+    g: &Graph,
+    params: &SkeletonParams,
+    seed: u64,
+    delays: &FaultPlan,
+    synchronizer: Synchronizer,
+) -> Result<Spanner, RunError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let schedule = params.schedule(n);
+    let budget = theorem2_budget(n, params.eps);
+    let words = budget.limit().expect("theorem2 budget is bounded");
+    let cfg = Arc::new(SkelConfig::build(&schedule, n, seed, words));
+    let mut net = AsyncNetwork::new(g, budget, seed)
+        .with_delays(delays.clone())
+        .with_synchronizer(synchronizer);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds)?;
+    Ok(collect_spanner(g, &states, net.metrics()))
+}
+
 /// Like [`build_distributed`], executed on `threads` worker threads.
 ///
 /// Deterministic in `seed` and independent of `threads`: produces exactly
@@ -688,6 +726,7 @@ pub fn build_distributed_parallel_traced(
 /// [`FaultError::Run`] when the simulated
 /// run fails, [`FaultError::Uncertified`]
 /// when the surviving output is not a certified skeleton.
+#[allow(clippy::result_large_err)] // error carries full RunMetrics by design
 pub fn build_distributed_faulted(
     g: &Graph,
     params: &SkeletonParams,

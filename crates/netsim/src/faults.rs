@@ -204,12 +204,42 @@ impl FaultPlan {
     /// A uniform `[0, 1)` roll for one injection point — the dedicated
     /// fault stream (see module docs).
     fn roll(&self, kind: u64, round: u32, a: u32, b: u32) -> f64 {
+        self.roll_at(kind, round as u64, a, b)
+    }
+
+    /// Like [`FaultPlan::roll`], keyed by a 64-bit timestamp instead of a
+    /// round number (the event-driven executor keys delay decisions by the
+    /// simulated send time, which outgrows `u32`).
+    fn roll_at(&self, kind: u64, when: u64, a: u32, b: u32) -> f64 {
         let mut s = self.seed ^ FAULT_STREAM_SALT ^ kind;
         let x = splitmix64(&mut s);
         let mut t = x ^ (((a as u64) << 32) | b as u64);
         let y = splitmix64(&mut t);
-        let mut u = y ^ round as u64;
+        let mut u = y ^ when;
         chance(splitmix64(&mut u))
+    }
+
+    /// Delivery latency, in simulated ticks, of a message `sender → to`
+    /// handed to the link at `send_time` — the event-driven executor's
+    /// delay model ([`AsyncNetwork`](crate::AsyncNetwork)).
+    ///
+    /// Reuses the plan's delay machinery: the base latency is one tick;
+    /// with probability [`FaultPlan::with_delays`]' `p` the link adds a
+    /// uniform `1..=max_delay` extra ticks. Like every fault decision this
+    /// is a **pure hash** of `(seed, edge, send time)` — reproducible,
+    /// executor- and thread-count-independent — and plans without a delay
+    /// clause (or with either endpoint out of scope) always return 1, so
+    /// the empty plan is the unit-latency ("zero-delay") model.
+    pub fn link_latency(&self, send_time: u64, sender: NodeId, to: NodeId) -> u64 {
+        if self.delay <= 0.0 || !self.in_scope(sender) || !self.in_scope(to) {
+            return 1;
+        }
+        if self.roll_at(KIND_DELAY, send_time, sender.0, to.0) < self.delay {
+            let r = self.roll_at(KIND_DELAY_AMOUNT, send_time, sender.0, to.0);
+            let d = 1 + (r * self.max_delay as f64) as u64;
+            return 1 + d.min(self.max_delay.max(1) as u64);
+        }
+        1
     }
 
     /// The fate of the message `sender → to` sent in `send_round`.
@@ -578,6 +608,31 @@ mod tests {
                 other => panic!("expected delay, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn link_latency_is_pure_and_bounded() {
+        let unit = FaultPlan::default();
+        assert_eq!(unit.link_latency(0, NodeId(0), NodeId(1)), 1);
+        assert_eq!(unit.link_latency(u64::MAX, NodeId(7), NodeId(3)), 1);
+
+        let p = FaultPlan::new(13).with_delays(0.5, 4);
+        let mut slow = 0u32;
+        for t in 0..2_000u64 {
+            let l1 = p.link_latency(t, NodeId(2), NodeId(9));
+            let l2 = p.link_latency(t, NodeId(2), NodeId(9));
+            assert_eq!(l1, l2, "latency must be a pure hash");
+            assert!((1..=5).contains(&l1), "latency {l1} out of 1..=1+max");
+            if l1 > 1 {
+                slow += 1;
+            }
+        }
+        // Roughly half the sends should hit the delay clause.
+        assert!((700..1300).contains(&slow), "slow sends {slow}");
+
+        // Scoped plans leave out-of-scope links at unit latency.
+        let q = FaultPlan::new(1).with_delays(1.0, 3).scoped_to([NodeId(0)]);
+        assert_eq!(q.link_latency(5, NodeId(0), NodeId(1)), 1);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod async_exec;
 pub mod budget;
 pub mod csr;
 pub mod faults;
@@ -54,6 +55,7 @@ pub mod rng;
 pub mod sync;
 pub mod trace;
 
+pub use async_exec::{AsyncNetwork, Synchronizer};
 pub use budget::{BudgetViolation, MessageBudget};
 pub use csr::CsrAdjacency;
 pub use faults::{FaultCounters, FaultPlan, MsgFate};

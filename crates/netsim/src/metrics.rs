@@ -22,6 +22,19 @@ pub struct RunMetrics {
     pub max_message_words: usize,
     /// Per-category counts of injected faults; all-zero on unfaulted runs.
     pub faults: FaultCounters,
+    /// Discrete events processed by the event-driven executor — one per
+    /// message arrival, protocol or synchronizer. Zero on round-synchronous
+    /// runs.
+    pub events: u64,
+    /// Synchronizer overhead messages (acknowledgements plus safety
+    /// broadcast/convergecast traffic) sent by the event-driven executor's
+    /// synchronizer; **not** included in [`RunMetrics::messages`], which
+    /// stays the protocol-level count the paper's theorems bound. Zero on
+    /// round-synchronous runs.
+    pub sync_messages: u64,
+    /// Simulated-time horizon of the event-driven run, in ticks (the time
+    /// of the last event processed). Zero on round-synchronous runs.
+    pub sim_time: u64,
 }
 
 impl RunMetrics {
@@ -33,6 +46,24 @@ impl RunMetrics {
         self.words += other.words;
         self.max_message_words = self.max_message_words.max(other.max_message_words);
         self.faults.absorb(&other.faults);
+        self.events += other.events;
+        self.sync_messages += other.sync_messages;
+        self.sim_time += other.sim_time;
+    }
+
+    /// The round-synchronous projection: these metrics with the
+    /// event-driven executor's counters ([`RunMetrics::events`],
+    /// [`RunMetrics::sync_messages`], [`RunMetrics::sim_time`]) zeroed.
+    ///
+    /// A synchronized asynchronous run recovers exact round semantics, so
+    /// its protocol-level accounting equals the round-synchronous
+    /// executors' — `async.protocol_only() == sync_metrics` is the parity
+    /// invariant asserted in `tests/executor_parity.rs`.
+    pub fn protocol_only(mut self) -> RunMetrics {
+        self.events = 0;
+        self.sync_messages = 0;
+        self.sim_time = 0;
+        self
     }
 
     /// Average words per message (0 if no messages).
@@ -69,6 +100,13 @@ impl fmt::Display for RunMetrics {
         if !self.faults.is_empty() {
             write!(f, " {}", self.faults)?;
         }
+        if self.events != 0 || self.sync_messages != 0 || self.sim_time != 0 {
+            write!(
+                f,
+                " events={} sync_messages={} sim_time={}",
+                self.events, self.sync_messages, self.sim_time
+            )?;
+        }
         Ok(())
     }
 }
@@ -84,20 +122,29 @@ mod tests {
             messages: 100,
             words: 300,
             max_message_words: 3,
-            faults: FaultCounters::default(),
+            events: 7,
+            sync_messages: 2,
+            sim_time: 40,
+            ..RunMetrics::default()
         };
         let b = RunMetrics {
             rounds: 5,
             messages: 50,
             words: 500,
             max_message_words: 10,
-            faults: FaultCounters::default(),
+            events: 3,
+            sync_messages: 1,
+            sim_time: 10,
+            ..RunMetrics::default()
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 15);
         assert_eq!(a.messages, 150);
         assert_eq!(a.words, 800);
         assert_eq!(a.max_message_words, 10);
+        assert_eq!(a.events, 10);
+        assert_eq!(a.sync_messages, 3);
+        assert_eq!(a.sim_time, 50);
     }
 
     #[test]
@@ -107,7 +154,7 @@ mod tests {
             messages: 4,
             words: 10,
             max_message_words: 4,
-            faults: FaultCounters::default(),
+            ..RunMetrics::default()
         };
         assert!((m.avg_message_words() - 2.5).abs() < 1e-12);
         assert_eq!(RunMetrics::default().avg_message_words(), 0.0);
@@ -120,11 +167,42 @@ mod tests {
             messages: 3,
             words: 4,
             max_message_words: 5,
-            faults: FaultCounters::default(),
+            ..RunMetrics::default()
         };
         let s = m.to_string();
         for needle in ["rounds=2", "messages=3", "words=4", "max_msg_words=5"] {
             assert!(s.contains(needle));
         }
+        // Round-synchronous metrics keep their pre-async rendering.
+        assert!(!s.contains("events="));
+        let a = RunMetrics {
+            events: 9,
+            sync_messages: 6,
+            sim_time: 33,
+            ..m
+        };
+        let s = a.to_string();
+        for needle in ["events=9", "sync_messages=6", "sim_time=33"] {
+            assert!(s.contains(needle));
+        }
+    }
+
+    #[test]
+    fn protocol_only_zeroes_async_counters() {
+        let m = RunMetrics {
+            rounds: 2,
+            messages: 3,
+            words: 4,
+            max_message_words: 5,
+            events: 9,
+            sync_messages: 6,
+            sim_time: 33,
+            ..RunMetrics::default()
+        };
+        let p = m.protocol_only();
+        assert_eq!(p.rounds, 2);
+        assert_eq!(p.messages, 3);
+        assert_eq!((p.events, p.sync_messages, p.sim_time), (0, 0, 0));
+        assert_eq!(p, p.protocol_only());
     }
 }

@@ -122,6 +122,26 @@ pub enum TraceEvent {
         /// buckets are trimmed.
         sizes: Vec<u64>,
     },
+    /// One message arrival observed by the event-driven executor
+    /// ([`AsyncNetwork`](crate::AsyncNetwork)) with delivery tracing
+    /// enabled. Emitted between the `Round` record of the send round and
+    /// the next round's events, in deterministic `(time, sender, seq)`
+    /// event order. Round-synchronous executors never emit this event, and
+    /// the asynchronous executor omits it by default
+    /// ([`AsyncNetwork::with_delivery_trace`](crate::AsyncNetwork::with_delivery_trace)),
+    /// so default streams stay byte-identical across all executors.
+    Deliver {
+        /// Simulated arrival time, in ticks.
+        time: u64,
+        /// The protocol round the message was sent in.
+        round: u32,
+        /// Sending node id.
+        from: u32,
+        /// Receiving node id.
+        to: u32,
+        /// Message length in words.
+        words: u64,
+    },
     /// Per-category fault counts of the run; emitted once, immediately
     /// before [`TraceEvent::RunEnd`], and **only** when at least one fault
     /// was injected — unfaulted runs keep their pre-fault byte-identical
@@ -210,6 +230,18 @@ impl TraceEvent {
                 }
                 s.push_str("]}");
             }
+            TraceEvent::Deliver {
+                time,
+                round,
+                from,
+                to,
+                words,
+            } => {
+                s.push_str(&format!(
+                    "{{\"ev\":\"deliver\",\"time\":{time},\"round\":{round},\
+                     \"from\":{from},\"to\":{to},\"words\":{words}}}"
+                ));
+            }
             TraceEvent::Faults {
                 dropped,
                 duplicated,
@@ -282,6 +314,13 @@ impl TraceEvent {
                     Some(JsonVal::Arr(v)) => v.clone(),
                     _ => return None,
                 },
+            }),
+            "deliver" => Some(TraceEvent::Deliver {
+                time: num("time")?,
+                round: num("round")? as u32,
+                from: num("from")? as u32,
+                to: num("to")? as u32,
+                words: num("words")?,
             }),
             "faults" => Some(TraceEvent::Faults {
                 dropped: num("dropped")?,
@@ -621,6 +660,7 @@ pub struct TraceSummary {
     messages: u64,
     words: u64,
     sizes: Vec<u64>,
+    deliveries: u64,
     faults: Option<FaultCounters>,
     error: Option<String>,
     ended: bool,
@@ -689,6 +729,9 @@ impl TraceSummary {
                 bucket.last_round = (*round).max(bucket.last_round);
                 bucket.first_round = (*round).min(bucket.first_round);
             }
+            TraceEvent::Deliver { .. } => {
+                self.deliveries += 1;
+            }
             TraceEvent::Faults {
                 dropped,
                 duplicated,
@@ -743,6 +786,13 @@ impl TraceSummary {
     /// bucket `b` (see [`size_bucket`]). Trailing zero buckets trimmed.
     pub fn size_histogram(&self) -> &[u64] {
         &self.sizes
+    }
+
+    /// Number of [`Deliver`](TraceEvent::Deliver) events observed — zero
+    /// unless the stream came from an event-driven run with delivery
+    /// tracing enabled.
+    pub fn total_deliveries(&self) -> u64 {
+        self.deliveries
     }
 
     /// Fault counts recorded by the stream's
@@ -950,6 +1000,20 @@ impl<'s> Tracer<'s> {
         }
     }
 
+    /// Records one [`TraceEvent::Deliver`] — called by the event-driven
+    /// executor between rounds, in `(time, sender, seq)` event order.
+    pub fn on_deliver(&mut self, time: u64, round: u32, from: u32, to: u32, words: u64) {
+        if self.enabled {
+            self.sink.record(TraceEvent::Deliver {
+                time,
+                round,
+                from,
+                to,
+                words,
+            });
+        }
+    }
+
     /// Emits the `Round` record for the executing round and resets the
     /// per-round scratch.
     pub fn end_round(&mut self) {
@@ -1054,6 +1118,13 @@ mod tests {
                 round: 3,
                 name: "kill \"q\"\\phase".into(),
             },
+            TraceEvent::Deliver {
+                time: 17,
+                round: 3,
+                from: 4,
+                to: 9,
+                words: 2,
+            },
             TraceEvent::Faults {
                 dropped: 2,
                 duplicated: 1,
@@ -1114,7 +1185,7 @@ mod tests {
         for ev in sample_events() {
             ring.record(ev);
         }
-        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.dropped(), 8);
         let kept = ring.into_events();
         assert_eq!(kept.len(), 2);
         assert!(matches!(kept[1], TraceEvent::RunEnd { .. }));
@@ -1140,6 +1211,7 @@ mod tests {
         assert_eq!(s.phases()[0].messages, 14);
         assert_eq!(s.phases()[1].rounds, 1);
         assert_eq!(s.untracked(), None);
+        assert_eq!(s.total_deliveries(), 1);
         let fc = s.fault_counters().expect("faults event observed");
         assert_eq!(fc.dropped, 2);
         assert_eq!(fc.stutters, 4);

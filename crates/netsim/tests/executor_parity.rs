@@ -11,8 +11,8 @@ use spanner_graph::{generators, Graph, NodeId};
 use spanner_netsim::patterns::MinIdBroadcast;
 use spanner_netsim::rng::splitmix64;
 use spanner_netsim::{
-    Ctx, FaultPlan, JsonLinesSink, MessageBudget, Network, ParallelNetwork, Protocol,
-    RingBufferSink, RunError, TraceEvent,
+    AsyncNetwork, Ctx, FaultPlan, JsonLinesSink, MessageBudget, Network, ParallelNetwork, Protocol,
+    RingBufferSink, RunError, Synchronizer, TraceEvent,
 };
 
 /// Large enough that no test run ever evicts an event.
@@ -342,6 +342,213 @@ fn trace_jsonl_byte_identical() {
         let par_bytes = sink.finish().unwrap();
         assert_eq!(seq_bytes, par_bytes, "{threads} threads");
     }
+}
+
+/// The event-driven executor with a zero-delay plan (the default: every
+/// link takes exactly one tick) must be byte-identical to the sequential
+/// executor at the protocol level — same states, same metrics under the
+/// [`protocol_only`](spanner_netsim::RunMetrics::protocol_only)
+/// projection, same trace stream — and its async counters must satisfy the
+/// one-event-per-arrival invariant.
+fn assert_async_parity(g: &Graph, seed: u64, ttl: u32) {
+    let max_rounds = 4 * ttl + 16;
+    let mut seq = Network::new(g, MessageBudget::CONGEST, seed);
+    let mut seq_trace = RingBufferSink::new(TRACE_CAP);
+    let seq_states = seq
+        .run_traced(|_, _| GossipHash::new(ttl), max_rounds, &mut seq_trace)
+        .unwrap();
+    let seq_events = seq_trace.into_events();
+    let mut anet = AsyncNetwork::new(g, MessageBudget::CONGEST, seed);
+    let mut atrace = RingBufferSink::new(TRACE_CAP);
+    let astates = anet
+        .run_traced(|_, _| GossipHash::new(ttl), max_rounds, &mut atrace)
+        .unwrap();
+    assert_eq!(seq_states, astates, "async states");
+    assert_eq!(
+        seq.metrics(),
+        anet.metrics().protocol_only(),
+        "async metrics"
+    );
+    assert_eq!(seq_events, atrace.into_events(), "async trace events");
+    let m = anet.metrics();
+    assert_eq!(m.events, m.messages + m.sync_messages, "event accounting");
+    assert!(
+        m.sim_time >= m.rounds as u64,
+        "clock at least one tick/round"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn async_executor_agrees_on_random_graphs(
+        n in 2usize..=96,
+        density in 1.0f64..3.0,
+        seed in any::<u64>(),
+        ttl in 1u32..5,
+    ) {
+        let m = (((n as f64) * density) as usize).min(n * (n - 1) / 2);
+        let g = generators::erdos_renyi_gnm(n, m, seed ^ 0xA5_15C);
+        assert_async_parity(&g, seed, ttl);
+    }
+
+    // Under *nonzero* random delays the trace stream stays identical too
+    // (the synchronizer recovers exact rounds), for both synchronizer
+    // variants; the skeleton variant synchronizes over a spanning tree of
+    // the (connected) graph. (The shim's proptest! macro rejects doc
+    // comments, hence the plain ones.)
+    #[test]
+    fn async_executor_agrees_under_random_delays(
+        n in 2usize..=64,
+        density in 1.2f64..3.0,
+        seed in any::<u64>(),
+        dseed in any::<u64>(),
+        ttl in 1u32..5,
+    ) {
+        let m = (((n as f64) * density) as usize).min(n * (n - 1) / 2);
+        let g = generators::connected_gnm(n, m, seed ^ 0xDE1A);
+        assert_async_delay_parity(&g, seed, dseed, ttl);
+    }
+}
+
+/// The body of `async_executor_agrees_under_random_delays`: sequential
+/// reference once, then both synchronizers under the same delay plan.
+fn assert_async_delay_parity(g: &Graph, seed: u64, dseed: u64, ttl: u32) {
+    let max_rounds = 4 * ttl + 16;
+    let mut seq = Network::new(g, MessageBudget::CONGEST, seed);
+    let mut seq_trace = RingBufferSink::new(TRACE_CAP);
+    let seq_states = seq
+        .run_traced(|_, _| GossipHash::new(ttl), max_rounds, &mut seq_trace)
+        .unwrap();
+    let seq_events = seq_trace.into_events();
+    let delays = FaultPlan::new(dseed).with_delays(0.4, 4);
+    let tree = spanning_tree(g);
+    for sync in [Synchronizer::Alpha, Synchronizer::Skeleton(tree)] {
+        let mut anet = AsyncNetwork::new(g, MessageBudget::CONGEST, seed)
+            .with_delays(delays.clone())
+            .with_synchronizer(sync.clone());
+        let mut atrace = RingBufferSink::new(TRACE_CAP);
+        let astates = anet
+            .run_traced(|_, _| GossipHash::new(ttl), max_rounds, &mut atrace)
+            .unwrap();
+        assert_eq!(seq_states, astates, "{sync:?} states");
+        assert_eq!(
+            seq.metrics(),
+            anet.metrics().protocol_only(),
+            "{sync:?} metrics"
+        );
+        assert_eq!(seq_events, atrace.into_events(), "{sync:?} trace");
+        let m = anet.metrics();
+        assert_eq!(m.events, m.messages + m.sync_messages, "{sync:?} events");
+    }
+}
+
+/// A BFS spanning tree of a connected graph, as synchronizer edges.
+fn spanning_tree(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let adj = spanner_netsim::CsrAdjacency::from_graph(g);
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::from([NodeId(0)]);
+    seen[0] = true;
+    let mut edges = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        for &w in adj.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                edges.push((v, w));
+                queue.push_back(w);
+            }
+        }
+    }
+    edges
+}
+
+/// Budget violations on the async executor leave the sequential executor's
+/// exact partial accounting and partial trace stream, whatever the delay
+/// plan — mid-round aborts happen at the same (sender, round) point.
+#[test]
+fn async_budget_violation_agrees() {
+    #[derive(Debug)]
+    struct LateFat;
+    impl Protocol for LateFat {
+        type Msg = Vec<u64>;
+        fn init(&mut self, ctx: &mut Ctx<'_, Vec<u64>>) {
+            ctx.broadcast(vec![1]);
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, Vec<u64>>, _: &[(NodeId, Vec<u64>)]) {
+            if ctx.tracing() {
+                ctx.enter_phase(format!("r{}", ctx.round()));
+            }
+            if ctx.round() == 2 && ctx.me().0 >= 20 {
+                ctx.broadcast(vec![0; 7]);
+            } else if ctx.round() < 2 {
+                ctx.broadcast(vec![ctx.round() as u64]);
+            }
+        }
+    }
+    let g = generators::connected_gnm(40, 100, 5);
+    let mut seq = Network::new(&g, MessageBudget::Words(4), 9);
+    let mut seq_trace = RingBufferSink::new(TRACE_CAP);
+    let seq_err = seq
+        .run_traced(|_, _| LateFat, 32, &mut seq_trace)
+        .unwrap_err();
+    assert!(matches!(seq_err, RunError::Budget(_)));
+    let seq_events = seq_trace.into_events();
+    for delays in [FaultPlan::default(), FaultPlan::new(3).with_delays(0.5, 4)] {
+        let mut anet = AsyncNetwork::new(&g, MessageBudget::Words(4), 9).with_delays(delays);
+        let mut atrace = RingBufferSink::new(TRACE_CAP);
+        let aerr = anet
+            .run_traced(|_, _| LateFat, 32, &mut atrace)
+            .unwrap_err();
+        assert_eq!(seq_err, aerr);
+        assert_eq!(seq.metrics(), anet.metrics().protocol_only());
+        assert_eq!(seq_events, atrace.into_events());
+    }
+}
+
+/// Serialized async trace streams are byte-identical to the sequential
+/// executor's (and hence to every parallel thread count, by
+/// `trace_jsonl_byte_identical`); with delivery tracing enabled the stream
+/// gains `deliver` records and nothing else changes.
+#[test]
+fn async_trace_jsonl_byte_identical() {
+    let g = generators::connected_gnm(60, 180, 17);
+    let mut sink = JsonLinesSink::new(Vec::<u8>::new());
+    let mut net = Network::new(&g, MessageBudget::CONGEST, 3);
+    net.run_traced(|_, _| GossipHash::new(4), 64, &mut sink)
+        .unwrap();
+    let seq_bytes = sink.finish().unwrap();
+    let run_async = |trace_deliveries: bool| {
+        let mut sink = JsonLinesSink::new(Vec::<u8>::new());
+        let mut anet = AsyncNetwork::new(&g, MessageBudget::CONGEST, 3)
+            .with_delays(FaultPlan::new(6).with_delays(0.3, 3))
+            .with_delivery_trace(trace_deliveries);
+        anet.run_traced(|_, _| GossipHash::new(4), 64, &mut sink)
+            .unwrap();
+        sink.finish().unwrap()
+    };
+    assert_eq!(seq_bytes, run_async(false));
+    let with_deliveries = run_async(true);
+    assert_ne!(seq_bytes, with_deliveries);
+    let mut deliver_lines = 0usize;
+    let filtered: Vec<&str> = std::str::from_utf8(&with_deliveries)
+        .unwrap()
+        .lines()
+        .filter(|l| {
+            let ev = TraceEvent::from_json_line(l).expect("parseable line");
+            assert_eq!(ev.to_json_line(), *l, "deliver round-trips");
+            if matches!(ev, TraceEvent::Deliver { .. }) {
+                deliver_lines += 1;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    assert!(deliver_lines > 0, "delivery tracing emits deliver records");
+    let seq_lines: Vec<&str> = std::str::from_utf8(&seq_bytes).unwrap().lines().collect();
+    assert_eq!(seq_lines, filtered, "deliver records are purely additive");
 }
 
 /// An empty graph still produces a well-formed stream (the init round and a

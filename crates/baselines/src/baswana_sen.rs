@@ -17,7 +17,9 @@
 //! fate is locally recomputable — which is what makes the distributed
 //! version run in O(k) rounds with 2-word messages.
 
-use spanner_graph::{EdgeId, EdgeSet, Graph, NodeId};
+use std::sync::Arc;
+
+use spanner_graph::{CsrAdjacency, EdgeId, EdgeSet, Graph, NodeId};
 use spanner_netsim::{
     AsyncNetwork, Ctx, FaultPlan, MessageBudget, Network, NullSink, Protocol, RunError,
     Synchronizer, TraceSink,
@@ -323,6 +325,51 @@ pub fn build_distributed_traced(
     })
 }
 
+/// [`build_distributed`] straight from a shared CSR adjacency, with no
+/// [`Graph`] materialization: the node protocol only reads topology through
+/// the executor, and the spanner is collected through the CSR edge index.
+/// Byte-identical spanner and metrics to the `Graph` driver (asserted in
+/// tests); the memory-lean entry point for `--scale huge` tiers.
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`build_distributed`] does.
+pub fn build_distributed_csr(
+    csr: &Arc<CsrAdjacency>,
+    params: &BaswanaSenParams,
+    seed: u64,
+) -> Result<Spanner, RunError> {
+    let mut net = Network::from_csr(Arc::clone(csr), MessageBudget::Words(2), seed);
+    let n = csr.node_count();
+    let p = params.probability(n);
+    let states = net.run(
+        |v, _| BsNode {
+            params: *params,
+            sampler: ClusterSampler::new(seed),
+            p,
+            cluster: Some(v),
+            chosen: Vec::new(),
+            iter: 0,
+            finished: false,
+        },
+        params.k + 4,
+    )?;
+    let index = csr.edge_index();
+    let mut edges = EdgeSet::with_universe(index.edge_count());
+    for (v, st) in states.iter().enumerate() {
+        for &w in &st.chosen {
+            let e = index
+                .edge_id(csr, NodeId(v as u32), w)
+                .expect("chosen edge exists");
+            edges.insert(e);
+        }
+    }
+    Ok(Spanner {
+        edges,
+        metrics: Some(net.metrics()),
+    })
+}
+
 /// Like [`build_distributed`], executed on the event-driven asynchronous
 /// simulator with per-link latencies from `delays` and round semantics
 /// recovered by `synchronizer` (see [`spanner_netsim::AsyncNetwork`]).
@@ -442,6 +489,17 @@ pub fn build_distributed_faulted(
 mod tests {
     use super::*;
     use spanner_graph::generators;
+
+    #[test]
+    fn csr_driver_matches_graph_driver() {
+        let params = BaswanaSenParams::new(3).unwrap();
+        let g = generators::connected_gnm(300, 1_500, 17);
+        let graph_built = build_distributed(&g, &params, 5).unwrap();
+        let csr = Arc::new(CsrAdjacency::from_graph(&g));
+        let csr_built = build_distributed_csr(&csr, &params, 5).unwrap();
+        assert_eq!(graph_built.edges, csr_built.edges);
+        assert_eq!(graph_built.metrics, csr_built.metrics);
+    }
 
     #[test]
     fn params_validation() {

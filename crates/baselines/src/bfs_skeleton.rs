@@ -11,7 +11,9 @@
 
 use spanner_graph::components::connected_components;
 use spanner_graph::traversal::bfs_tree;
-use spanner_graph::{EdgeSet, Graph, NodeId};
+use std::sync::Arc;
+
+use spanner_graph::{CsrAdjacency, EdgeSet, Graph, NodeId};
 use spanner_netsim::patterns::SourceInfo;
 use spanner_netsim::{Ctx, MessageBudget, Network, NullSink, Protocol, RunError, TraceSink};
 use ultrasparse::Spanner;
@@ -139,10 +141,69 @@ pub fn build_distributed_traced(
     })
 }
 
+/// [`build_distributed`] straight from a shared CSR adjacency, with no
+/// [`Graph`] materialization. The parent choice (min-id neighbor one hop
+/// closer to the root) scans the sorted CSR neighbor run, so it matches
+/// the `Graph` driver exactly; byte-identical spanner and metrics
+/// (asserted in tests).
+///
+/// # Errors
+///
+/// Propagates simulator errors, as [`build_distributed`] does.
+pub fn build_distributed_csr(
+    csr: &Arc<CsrAdjacency>,
+    seed: u64,
+    max_rounds: u32,
+) -> Result<Spanner, RunError> {
+    let mut net = Network::from_csr(Arc::clone(csr), MessageBudget::Words(2), seed);
+    let states = net.run(
+        |v, _| MinRootBfs {
+            best: SourceInfo { dist: 0, source: v },
+            sent: None,
+        },
+        max_rounds,
+    )?;
+    let index = csr.edge_index();
+    let mut edges = EdgeSet::with_universe(index.edge_count());
+    for v in 0..csr.node_count() {
+        let v = NodeId(v as u32);
+        let info = states[v.index()].best;
+        if info.dist == 0 {
+            continue; // component root
+        }
+        // Parent: min-id neighbor one hop closer to the same root.
+        let parent = csr
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|w| {
+                let b = states[w.index()].best;
+                b.source == info.source && b.dist + 1 == info.dist
+            })
+            .min()
+            .expect("BFS parent exists");
+        edges.insert(index.edge_id(csr, v, parent).expect("edge"));
+    }
+    Ok(Spanner {
+        edges,
+        metrics: Some(net.metrics()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use spanner_graph::generators;
+
+    #[test]
+    fn csr_driver_matches_graph_driver() {
+        let g = generators::connected_gnm(250, 1_000, 9);
+        let graph_built = build_distributed(&g, 4, 64).unwrap();
+        let csr = Arc::new(CsrAdjacency::from_graph(&g));
+        let csr_built = build_distributed_csr(&csr, 4, 64).unwrap();
+        assert_eq!(graph_built.edges, csr_built.edges);
+        assert_eq!(graph_built.metrics, csr_built.metrics);
+    }
 
     #[test]
     fn forest_size_and_spanning() {

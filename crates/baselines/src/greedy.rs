@@ -12,15 +12,18 @@
 //! kind of girth-based computation, which is why the paper develops the
 //! contraction-based alternative).
 
+use std::collections::VecDeque;
+
 use spanner_graph::girth::girth_exceeds;
-use spanner_graph::traversal::bfs_distances_in_subgraph;
-use spanner_graph::{EdgeSet, Graph};
+use spanner_graph::{EdgeSet, Graph, LinkedAdjacency};
 use ultrasparse::Spanner;
 
 /// Builds the greedy (2k−1)-spanner. Deterministic (edge insertion order).
 ///
 /// O(m · n)-ish worst case (one bounded BFS per edge); intended for
-/// baseline comparisons up to ~10⁵ edges.
+/// baseline comparisons up to ~10⁵ edges. The growing spanner lives in a
+/// flat [`LinkedAdjacency`] arena and the per-edge BFS reuses
+/// epoch-stamped scratch, so the hot loop allocates nothing.
 ///
 /// # Panics
 ///
@@ -29,14 +32,35 @@ pub fn build(g: &Graph, k: u32) -> Spanner {
     assert!(k >= 1, "k must be at least 1");
     let threshold = 2 * k - 1; // add edge iff current distance > 2k-1
     let mut edges = EdgeSet::new(g);
-    let mut adj: Vec<Vec<spanner_graph::NodeId>> = vec![Vec::new(); g.node_count()];
+    let mut adj = LinkedAdjacency::new(g.node_count());
+    let mut mark = vec![0u32; g.node_count()];
+    let mut epoch = 0u32;
+    let mut queue = VecDeque::new();
     for (e, u, v) in g.edges() {
         // Distance between u and v in the current spanner, bounded search.
-        let d = bfs_distances_in_subgraph(&adj, u, threshold);
-        if d[v.index()].is_none() {
+        epoch += 1;
+        mark[u.index()] = epoch;
+        queue.clear();
+        queue.push_back((u, 0u32));
+        let mut within = false;
+        while let Some((x, d)) = queue.pop_front() {
+            if x == v {
+                within = true;
+                break;
+            }
+            if d == threshold {
+                continue;
+            }
+            for y in adj.neighbors(x) {
+                if mark[y.index()] != epoch {
+                    mark[y.index()] = epoch;
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        if !within {
             edges.insert(e);
-            adj[u.index()].push(v);
-            adj[v.index()].push(u);
+            adj.add_edge(u, v);
         }
     }
     Spanner::from_edges(edges)

@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use spanner_graph::NodeId;
+use spanner_graph::{LinkedAdjacency, NodeId};
 
 /// An online (2k−1)-spanner over an edge stream on a fixed vertex set.
 ///
@@ -25,7 +25,7 @@ use spanner_graph::NodeId;
 ///
 /// ```
 /// use spanner_baselines::streaming::StreamingSpanner;
-/// use spanner_graph::NodeId;
+/// use spanner_graph::{LinkedAdjacency, NodeId};
 ///
 /// let mut s = StreamingSpanner::new(4, 2);
 /// assert!(s.offer(NodeId(0), NodeId(1)));
@@ -38,7 +38,7 @@ use spanner_graph::NodeId;
 #[derive(Debug, Clone)]
 pub struct StreamingSpanner {
     k: u32,
-    adj: Vec<Vec<NodeId>>,
+    adj: LinkedAdjacency,
     kept: Vec<(NodeId, NodeId)>,
     // Scratch for the bounded BFS (timestamped to avoid re-allocation):
     // backward marks, forward marks, forward distances.
@@ -58,7 +58,7 @@ impl StreamingSpanner {
         assert!(k >= 1, "k must be at least 1");
         StreamingSpanner {
             k,
-            adj: vec![Vec::new(); n],
+            adj: LinkedAdjacency::new(n),
             kept: Vec::new(),
             mark: vec![0; n],
             fmark: vec![0; n],
@@ -90,7 +90,7 @@ impl StreamingSpanner {
     /// Panics if an endpoint is out of range.
     pub fn offer(&mut self, u: NodeId, v: NodeId) -> bool {
         assert!(
-            u.index() < self.adj.len() && v.index() < self.adj.len(),
+            u.index() < self.adj.node_count() && v.index() < self.adj.node_count(),
             "endpoint out of range"
         );
         if u == v {
@@ -99,8 +99,7 @@ impl StreamingSpanner {
         if self.distance_at_most(u, v, 2 * self.k - 1) {
             return false;
         }
-        self.adj[u.index()].push(v);
-        self.adj[v.index()].push(u);
+        self.adj.add_edge(u, v);
         self.kept.push((u.min(v), u.max(v)));
         true
     }
@@ -131,7 +130,7 @@ impl StreamingSpanner {
             if d == forward_radius {
                 continue;
             }
-            for &y in &self.adj[x.index()] {
+            for y in self.adj.neighbors(x) {
                 if self.fmark[y.index()] != epoch {
                     self.fmark[y.index()] = epoch;
                     self.fdist[y.index()] = d + 1;
@@ -149,7 +148,7 @@ impl StreamingSpanner {
             if d == backward_radius {
                 continue;
             }
-            for &y in &self.adj[x.index()] {
+            for y in self.adj.neighbors(x) {
                 if self.mark[y.index()] != epoch {
                     self.mark[y.index()] = epoch;
                     queue.push_back((y, d + 1));
@@ -174,7 +173,7 @@ impl StreamingSpanner {
             if d == limit {
                 continue;
             }
-            for &y in &self.adj[x.index()] {
+            for y in self.adj.neighbors(x) {
                 if self.mark[y.index()] != epoch {
                     self.mark[y.index()] = epoch;
                     queue.push_back((y, d + 1));

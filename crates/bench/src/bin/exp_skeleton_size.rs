@@ -5,10 +5,16 @@
 //! and prints measured |S|/n next to the analytic prediction, for both the
 //! sequential reference and the distributed protocol.
 
-use spanner_bench::{f2, fault_plan_arg, scale3, timed, workload, Table, TraceOutput};
+use spanner_bench::{
+    f2, fault_plan_arg, huge_mode, peak_rss_bytes, scale3, threads_arg, timed, workload,
+    workload_csr, Table, TraceOutput,
+};
 use ultrasparse::skeleton::{build_sequential, distributed, SkeletonParams};
 
 fn main() {
+    if huge_mode() {
+        return run_huge();
+    }
     let traces = TraceOutput::from_args();
     let faults = fault_plan_arg();
     if let Some(plan) = &faults {
@@ -75,5 +81,58 @@ fn main() {
         "\nShape check: measured size grows ~linearly in D, stays below the\n\
          Lemma 6 prediction (an upper bound with explicit constants), and the\n\
          sequential and distributed implementations agree closely."
+    );
+}
+
+/// The `--scale huge` tier: the D sweep at n = 2²⁰ through the CSR-native
+/// distributed driver (no `Graph`, no sequential reference — the point of
+/// the tier). Spanning is certified exactly per row; the Lemma 6 size
+/// comparison is the experiment's payload and needs no distances.
+fn run_huge() {
+    let n = 1usize << 20;
+    let threads = threads_arg();
+    println!("E2 (Lemma 6), huge tier: skeleton size vs D, CSR-native, n = {n}.\n");
+    let mut table = Table::new([
+        "D",
+        "m",
+        "predicted |S|/n (Lemma 6)",
+        "distributed |S|/n",
+        "rounds",
+        "messages",
+        "secs",
+    ]);
+    for d in [4.0, 8.0, 12.0] {
+        let (csr, gen_secs) = timed(|| std::sync::Arc::new(workload_csr(n, d / 2.0, 7)));
+        let params = SkeletonParams::new(d, 1.0).expect("valid params");
+        let predicted = params.expected_size(n) / n as f64;
+        let (dist, secs) = timed(|| {
+            if threads > 1 {
+                distributed::build_distributed_csr_parallel(&csr, &params, 11, threads)
+            } else {
+                distributed::build_distributed_csr(&csr, &params, 11)
+            }
+            .expect("distributed run")
+        });
+        assert!(
+            csr.subgraph(&dist.edges).is_connected(),
+            "D = {d} must span"
+        );
+        let m = dist.metrics.as_ref().expect("distributed run has metrics");
+        println!("D = {d}: generated in {gen_secs:.1}s, built in {secs:.1}s");
+        table.row([
+            f2(d),
+            csr.edge_count().to_string(),
+            f2(predicted),
+            f2(dist.len() as f64 / n as f64),
+            m.rounds.to_string(),
+            m.messages.to_string(),
+            f2(secs),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nSpanning certified exactly per row; stretch columns are covered by\n\
+         the default tiers. Peak RSS: {} MiB.",
+        peak_rss_bytes() / (1 << 20)
     );
 }

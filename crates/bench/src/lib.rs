@@ -21,14 +21,49 @@ use spanner_graph::Graph;
 use spanner_netsim::{FaultPlan, JsonLinesSink, NullSink, TraceSink};
 
 /// Whether the process was invoked with `--quick` (smaller instances).
+/// `--scale quick` is a synonym.
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    std::env::args().any(|a| a == "--quick") || scale_arg().as_deref() == Some("quick")
 }
 
 /// Whether the process was invoked with `--tiny` (pinned, seconds-scale
 /// instances — the configuration the golden-file regression tests run at).
+/// `--scale tiny` is a synonym.
 pub fn tiny_mode() -> bool {
-    std::env::args().any(|a| a == "--tiny")
+    std::env::args().any(|a| a == "--tiny") || scale_arg().as_deref() == Some("tiny")
+}
+
+/// The `--scale <tier>` argument (also `--scale=tier`), if present.
+/// Tiers: `full` (the default), `quick`, `tiny`, and `huge` — the
+/// million-node tier that routes the experiment through the CSR-native
+/// construction drivers (see EXPERIMENTS.md, "Million-node runs").
+///
+/// # Panics
+///
+/// Panics on an unknown tier — experiments fail loudly rather than
+/// silently run the default scale.
+pub fn scale_arg() -> Option<String> {
+    let mut args = std::env::args();
+    let tier = loop {
+        let a = args.next()?;
+        if a == "--scale" {
+            break args.next().expect("--scale needs a tier argument");
+        }
+        if let Some(t) = a.strip_prefix("--scale=") {
+            break t.to_owned();
+        }
+    };
+    assert!(
+        matches!(tier.as_str(), "full" | "quick" | "tiny" | "huge"),
+        "unknown --scale tier {tier:?} (expected full, quick, tiny, or huge)"
+    );
+    Some(tier)
+}
+
+/// Whether the process was invoked with `--scale huge` (n ≥ 2²⁰ instances
+/// built through the streaming CSR generators; excluded from CI).
+pub fn huge_mode() -> bool {
+    scale_arg().as_deref() == Some("huge")
 }
 
 /// Picks full / `--quick` / `--tiny` values; `--tiny` wins over `--quick`.
@@ -284,6 +319,36 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 pub fn workload(n: usize, density: f64, seed: u64) -> Graph {
     let m = ((n as f64) * density) as usize;
     spanner_graph::generators::connected_gnm(n, m.max(n - 1), seed)
+}
+
+/// [`workload`] built straight into a [`spanner_graph::CsrAdjacency`]:
+/// same sampler,
+/// same seed, same edges — with no intermediate `Graph` materialization.
+/// The `--scale huge` tiers run on this.
+pub fn workload_csr(n: usize, density: f64, seed: u64) -> spanner_graph::CsrAdjacency {
+    let m = ((n as f64) * density) as usize;
+    spanner_graph::generators::connected_gnm_csr(n, m.max(n - 1), seed)
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`;
+/// 0 where unavailable). The huge experiment tiers and the construction
+/// bench report this next to their timings.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 /// Formats a float with 2 decimals.

@@ -138,6 +138,29 @@ fn exp_skeleton_size_tiny_matches_golden() {
     assert_matches_golden("exp_skeleton_size.tiny.txt", &normalize_secs(&out));
 }
 
+/// `--scale tiny` is a synonym for `--tiny`: the new flag must reproduce
+/// the existing snapshots byte for byte — the huge tier rides in through
+/// `--scale` without perturbing any pinned small-n column.
+#[test]
+fn scale_flag_tiny_matches_golden() {
+    let out = run(env!("CARGO_BIN_EXE_fig1_table"), &["--scale", "tiny"]);
+    assert_matches_golden("fig1_table.tiny.txt", &normalize_secs(&out));
+    let out = run(env!("CARGO_BIN_EXE_exp_skeleton_size"), &["--scale=tiny"]);
+    assert_matches_golden("exp_skeleton_size.tiny.txt", &normalize_secs(&out));
+}
+
+/// An unknown tier must fail loudly, not silently run the default scale.
+#[test]
+fn bad_scale_tier_fails_loudly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig1_table"))
+        .args(["--scale", "gigantic"])
+        .output()
+        .expect("spawn fig1_table");
+    assert!(!out.status.success(), "unknown tier must not run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown --scale tier"), "{stderr}");
+}
+
 /// Drops the `wrote <path>` artifact line: the JSON path is
 /// machine-dependent (the table above it is what the snapshot pins).
 fn strip_artifact_line(text: &str) -> String {

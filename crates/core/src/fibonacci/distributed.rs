@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use spanner_graph::{EdgeSet, Graph, NodeId};
+use spanner_graph::{CsrAdjacency, EdgeSet, Graph, NodeId};
 use spanner_netsim::{
     AsyncNetwork, Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork,
     Protocol, RunError, Synchronizer, TraceSink,
@@ -46,7 +46,7 @@ use spanner_netsim::{
 
 use crate::faults::FaultError;
 use crate::fibonacci::params::FibonacciParams;
-use crate::fibonacci::sequential::sample_levels;
+use crate::fibonacci::sequential::{sample_levels, sample_levels_n};
 use crate::spanner::Spanner;
 
 /// Protocol messages.
@@ -723,6 +723,93 @@ pub fn build_distributed_faulted(
     )
 }
 
+/// [`build_distributed`] straight from a shared CSR adjacency: no
+/// [`Graph`] is ever materialized. Byte-identical spanner and metrics to
+/// the `Graph` driver on the same topology (asserted in tests); this is
+/// the memory-lean entry point the `--scale huge` experiment tiers use.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_csr(
+    csr: &Arc<CsrAdjacency>,
+    params: &FibonacciParams,
+    seed: u64,
+) -> Result<Spanner, RunError> {
+    let n = csr.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let levels = sample_levels_n(n, params, seed);
+    let budget = theorem8_budget(n, params.t);
+    let cfg = Arc::new(FibConfig::build(params, n, budget, diameter_cap_csr(csr)));
+    let mut net = Network::from_csr(Arc::clone(csr), budget, seed);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run(
+        |v, _| FibNode::new(Arc::clone(&cfg), levels[v.index()]),
+        max_rounds,
+    )?;
+    Ok(collect_spanner_csr(csr, &states, net.metrics()))
+}
+
+/// [`build_distributed_csr`] executed on `threads` worker threads.
+/// Deterministic in `seed` and independent of `threads`.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_csr_parallel(
+    csr: &Arc<CsrAdjacency>,
+    params: &FibonacciParams,
+    seed: u64,
+    threads: usize,
+) -> Result<Spanner, RunError> {
+    let n = csr.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let levels = sample_levels_n(n, params, seed);
+    let budget = theorem8_budget(n, params.t);
+    let cfg = Arc::new(FibConfig::build(params, n, budget, diameter_cap_csr(csr)));
+    let mut net = ParallelNetwork::from_csr(Arc::clone(csr), budget, seed, threads);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run(
+        |v, _| FibNode::new(Arc::clone(&cfg), levels[v.index()]),
+        max_rounds,
+    )?;
+    Ok(collect_spanner_csr(csr, &states, net.metrics()))
+}
+
+/// [`collect_spanner`] against a CSR edge index instead of `Graph` lookup.
+fn collect_spanner_csr(
+    csr: &CsrAdjacency,
+    states: &[FibNode],
+    metrics: spanner_netsim::RunMetrics,
+) -> Spanner {
+    let index = csr.edge_index();
+    let mut edges = EdgeSet::with_universe(index.edge_count());
+    for st in states {
+        for &(a, b) in &st.selected {
+            let e = index.edge_id(csr, a, b).expect("selected edges exist");
+            edges.insert(e);
+        }
+    }
+    Spanner {
+        edges,
+        metrics: Some(metrics),
+    }
+}
+
+/// [`diameter_cap`] over a CSR adjacency (identical value on the same
+/// topology: the two-sweep start vertex and tiebreaks match exactly).
+fn diameter_cap_csr(csr: &CsrAdjacency) -> u32 {
+    if csr.node_count() == 0 {
+        return 2;
+    }
+    let ecc = spanner_graph::distance::diameter_two_sweep_csr(csr, NodeId(0));
+    2 * ecc + 2
+}
+
 /// Gathers per-node edge selections into a [`Spanner`] with metrics.
 fn collect_spanner(g: &Graph, states: &[FibNode], metrics: spanner_netsim::RunMetrics) -> Spanner {
     let mut edges = EdgeSet::new(g);
@@ -851,6 +938,24 @@ mod tests {
             let par = build_distributed_parallel(&g, &p, 4, threads).unwrap();
             assert_eq!(seq.edges, par.edges, "{threads} threads");
             assert_eq!(seq.metrics, par.metrics, "{threads} threads");
+        }
+    }
+
+    /// The CSR-native drivers reproduce the `Graph` drivers byte for byte:
+    /// same spanner, same metrics, sequential and parallel.
+    #[test]
+    fn csr_driver_matches_graph_driver() {
+        let g = generators::connected_gnm(250, 900, 21);
+        let p = params(250, 2, 3);
+        let graph_built = build_distributed(&g, &p, 4).unwrap();
+        let csr = Arc::new(CsrAdjacency::from_graph(&g));
+        let csr_built = build_distributed_csr(&csr, &p, 4).unwrap();
+        assert_eq!(graph_built.edges, csr_built.edges);
+        assert_eq!(graph_built.metrics, csr_built.metrics);
+        for threads in [1, 4] {
+            let par = build_distributed_csr_parallel(&csr, &p, 4, threads).unwrap();
+            assert_eq!(graph_built.edges, par.edges, "{threads} threads");
+            assert_eq!(graph_built.metrics, par.metrics, "{threads} threads");
         }
     }
 

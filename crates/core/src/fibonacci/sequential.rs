@@ -27,9 +27,16 @@ use crate::spanner::Spanner;
 /// `v ∈ V_i`. Deterministic in `seed`; each vertex flips its own coins
 /// (matching the distributed construction, where sampling is local).
 pub fn sample_levels(g: &Graph, params: &FibonacciParams, seed: u64) -> Vec<u32> {
-    g.nodes()
+    sample_levels_n(g.node_count(), params, seed)
+}
+
+/// [`sample_levels`] from a bare node count: the sampling is purely local
+/// (each vertex flips its own coins keyed by id), so it needs no topology.
+/// Lets CSR-native drivers sample without materializing a [`Graph`].
+pub fn sample_levels_n(n: usize, params: &FibonacciParams, seed: u64) -> Vec<u32> {
+    (0..n)
         .map(|v| {
-            let mut rng = node_rng(seed, v.0, 1);
+            let mut rng = node_rng(seed, v as u32, 1);
             let mut level = 0u32;
             for i in 1..=params.order {
                 let keep = params.level_probability(i) / params.level_probability(i - 1);

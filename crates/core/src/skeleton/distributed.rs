@@ -44,7 +44,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use spanner_graph::{EdgeSet, Graph, NodeId};
+use spanner_graph::{CsrAdjacency, EdgeSet, Graph, NodeId};
 use spanner_netsim::{
     AsyncNetwork, Ctx, FaultPlan, MessageBudget, MessageSize, Network, NullSink, ParallelNetwork,
     Protocol, RunError, Synchronizer, TraceSink,
@@ -625,6 +625,77 @@ pub fn build_distributed_traced(
     Ok(collect_spanner(g, &states, net.metrics()))
 }
 
+/// Like [`build_distributed`], running straight off a shared CSR adjacency
+/// with no [`Graph`] ever materialized — the construction path the
+/// million-node experiment tiers use. For the same topology and seed the
+/// result (spanner edge set, metrics) is byte-identical to
+/// [`build_distributed`]'s: edge identifiers are recovered through
+/// [`CsrAdjacency::edge_index`], which reproduces
+/// [`Graph::from_edges`]' lexicographic edge-id order.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_csr(
+    csr: &Arc<CsrAdjacency>,
+    params: &SkeletonParams,
+    seed: u64,
+) -> Result<Spanner, RunError> {
+    build_distributed_csr_traced(csr, params, seed, &mut NullSink)
+}
+
+/// Like [`build_distributed_csr`], streaming trace events into `sink`.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_csr_traced(
+    csr: &Arc<CsrAdjacency>,
+    params: &SkeletonParams,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<Spanner, RunError> {
+    let n = csr.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let schedule = params.schedule(n);
+    let budget = theorem2_budget(n, params.eps);
+    let words = budget.limit().expect("theorem2 budget is bounded");
+    let cfg = Arc::new(SkelConfig::build(&schedule, n, seed, words));
+    let mut net = Network::from_csr(Arc::clone(csr), budget, seed);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run_traced(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds, sink)?;
+    Ok(collect_spanner_csr(csr, &states, net.metrics()))
+}
+
+/// Like [`build_distributed_parallel`], running straight off a shared CSR
+/// adjacency. Byte-identical output to [`build_distributed_csr`] at any
+/// thread count.
+///
+/// # Errors
+///
+/// Propagates simulator failures, as [`build_distributed`] does.
+pub fn build_distributed_csr_parallel(
+    csr: &Arc<CsrAdjacency>,
+    params: &SkeletonParams,
+    seed: u64,
+    threads: usize,
+) -> Result<Spanner, RunError> {
+    let n = csr.node_count();
+    if n == 0 {
+        return Ok(Spanner::from_edges(EdgeSet::with_universe(0)));
+    }
+    let schedule = params.schedule(n);
+    let budget = theorem2_budget(n, params.eps);
+    let words = budget.limit().expect("theorem2 budget is bounded");
+    let cfg = Arc::new(SkelConfig::build(&schedule, n, seed, words));
+    let mut net = ParallelNetwork::from_csr(Arc::clone(csr), budget, seed, threads);
+    let max_rounds = cfg.total_rounds + 8;
+    let states = net.run(|v, _| SkelNode::new(Arc::clone(&cfg), v), max_rounds)?;
+    Ok(collect_spanner_csr(csr, &states, net.metrics()))
+}
+
 /// Like [`build_distributed`], executed on the event-driven asynchronous
 /// simulator: per-link latencies come from `delays` (see
 /// [`spanner_netsim::FaultPlan::link_latency`]; only the plan's delay
@@ -782,6 +853,30 @@ fn collect_spanner(g: &Graph, states: &[SkelNode], metrics: spanner_netsim::RunM
     }
 }
 
+/// [`collect_spanner`] for the zero-`Graph` path: edge ids come from the
+/// CSR edge index, which reproduces the lexicographic id order of
+/// [`Graph::from_edges`] exactly.
+fn collect_spanner_csr(
+    csr: &CsrAdjacency,
+    states: &[SkelNode],
+    metrics: spanner_netsim::RunMetrics,
+) -> Spanner {
+    let index = csr.edge_index();
+    let mut edges = EdgeSet::with_universe(index.edge_count());
+    for st in states {
+        for &(a, b) in &st.selected {
+            let e = index
+                .edge_id(csr, a, b)
+                .expect("selected edges are graph edges");
+            edges.insert(e);
+        }
+    }
+    Spanner {
+        edges,
+        metrics: Some(metrics),
+    }
+}
+
 /// Number of simulator rounds the timetable occupies for an n-node input —
 /// the deterministic round bound the protocol runs to (used by E3).
 pub fn timetable_rounds(n: usize, params: &SkeletonParams) -> u32 {
@@ -900,6 +995,25 @@ mod tests {
             let par = build_distributed_parallel(&g, &params, 6, threads).unwrap();
             assert_eq!(seq.edges, par.edges, "{threads} threads");
             assert_eq!(seq.metrics, par.metrics, "{threads} threads");
+        }
+    }
+
+    /// The zero-`Graph` CSR driver must reproduce the `Graph` driver
+    /// byte-for-byte: same edge set (via the CSR edge index), same metrics,
+    /// sequential and parallel.
+    #[test]
+    fn csr_driver_matches_graph_driver() {
+        let params = SkeletonParams::default();
+        let g = generators::connected_gnm(300, 1_500, 31);
+        let from_graph = build_distributed(&g, &params, 6).unwrap();
+        let csr = Arc::new(CsrAdjacency::from_graph(&g));
+        let from_csr = build_distributed_csr(&csr, &params, 6).unwrap();
+        assert_eq!(from_graph.edges, from_csr.edges);
+        assert_eq!(from_graph.metrics, from_csr.metrics);
+        for threads in [1, 4] {
+            let par = build_distributed_csr_parallel(&csr, &params, 6, threads).unwrap();
+            assert_eq!(from_graph.edges, par.edges, "{threads} threads");
+            assert_eq!(from_graph.metrics, par.metrics, "{threads} threads");
         }
     }
 

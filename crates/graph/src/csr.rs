@@ -10,8 +10,48 @@
 //! replacement for the `Vec<Vec<NodeId>>` tables that used to be rebuilt
 //! per executor run and per stretch-verification source.
 
+use std::fmt;
+
 use crate::edgeset::EdgeSet;
-use crate::graph::{Graph, NodeId};
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A graph that does not fit the u32 id space of [`NodeId`] / [`EdgeId`].
+///
+/// Returned by [`CsrAdjacency::try_from_edges`] **before** any
+/// proportional allocation happens, so a generator asked for an oversized
+/// n fails immediately with an actionable message instead of panicking
+/// mid-generation (or after gigabytes of work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrSizeError {
+    /// More nodes than `u32` node ids can address.
+    Nodes {
+        /// The requested node count.
+        n: usize,
+    },
+    /// More than `u32::MAX` half-edges (directed adjacency entries).
+    HalfEdges,
+}
+
+impl fmt::Display for CsrSizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrSizeError::Nodes { n } => write!(
+                f,
+                "graph too large: n = {n} nodes exceeds the u32 node-id space \
+                 (max {}); shard the input or reduce n",
+                u32::MAX
+            ),
+            CsrSizeError::HalfEdges => write!(
+                f,
+                "graph too large: more than {} half-edges overflow the u32 \
+                 CSR offsets; reduce the edge count",
+                u32::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsrSizeError {}
 
 /// Sorted neighbor lists in compressed sparse row layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,15 +142,41 @@ impl CsrAdjacency {
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint is out of range or the half-edge count
-    /// overflows `u32`.
+    /// Panics if an endpoint is out of range or the graph exceeds the u32
+    /// id space (see [`CsrAdjacency::try_from_edges`] for the fallible
+    /// variant).
     pub fn from_edges<I>(n: usize, edges: I) -> Self
     where
         I: IntoIterator<Item = (u32, u32)>,
         I::IntoIter: Clone,
     {
+        match Self::try_from_edges(n, edges) {
+            Ok(csr) => csr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CsrAdjacency::from_edges`]: checks the node count
+    /// against the u32 id space **before** allocating anything, and turns
+    /// half-edge overflow into a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrSizeError::Nodes`] when `n` exceeds `u32::MAX`,
+    /// [`CsrSizeError::HalfEdges`] when the adjacency would overflow the
+    /// u32 CSR offsets. Out-of-range endpoints still panic (a generator
+    /// bug, not an input-size problem).
+    pub fn try_from_edges<I>(n: usize, edges: I) -> Result<Self, CsrSizeError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+        I::IntoIter: Clone,
+    {
+        if n > u32::MAX as usize {
+            return Err(CsrSizeError::Nodes { n });
+        }
         let iter = edges.into_iter();
         let mut degree = vec![0u32; n];
+        let mut half_edges = 0u64;
         for (a, b) in iter.clone() {
             assert!(
                 (a as usize) < n && (b as usize) < n,
@@ -121,12 +187,16 @@ impl CsrAdjacency {
             }
             degree[a as usize] += 1;
             degree[b as usize] += 1;
+            half_edges += 2;
+            if half_edges > u32::MAX as u64 {
+                return Err(CsrSizeError::HalfEdges);
+            }
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u32);
         let mut acc = 0u32;
         for &d in &degree {
-            acc = acc.checked_add(d).expect("graph fits u32 half-edges");
+            acc += d;
             offsets.push(acc);
         }
         let mut targets = vec![NodeId(0); acc as usize];
@@ -165,7 +235,7 @@ impl CsrAdjacency {
             offsets[v + 1] = write as u32;
         }
         targets.truncate(write);
-        CsrAdjacency { offsets, targets }
+        Ok(CsrAdjacency { offsets, targets })
     }
 
     /// Number of nodes.
@@ -200,12 +270,267 @@ impl CsrAdjacency {
             .max()
             .unwrap_or(0)
     }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Builds the [`CsrEdgeIndex`] assigning this adjacency the exact
+    /// [`EdgeId`]s that [`Graph::from_edges`] would: ids in lexicographic
+    /// `(min, max)` endpoint order. One O(n + m) pass.
+    pub fn edge_index(&self) -> CsrEdgeIndex {
+        let n = self.node_count();
+        let mut fwd = Vec::with_capacity(n + 1);
+        fwd.push(0u32);
+        let mut acc = 0u32;
+        for v in 0..n {
+            let v = NodeId(v as u32);
+            let nb = self.neighbors(v);
+            acc += (nb.len() - nb.partition_point(|&w| w <= v)) as u32;
+            fwd.push(acc);
+        }
+        CsrEdgeIndex { fwd }
+    }
+
+    /// Iterator over all edges as `(EdgeId, NodeId, NodeId)` with the
+    /// smaller endpoint first, in [`EdgeId`] order — the CSR equivalent of
+    /// [`Graph::edges`], enumerating exactly the ids [`CsrEdgeIndex`]
+    /// assigns.
+    pub fn forward_edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        (0..self.node_count() as u32)
+            .scan(0u32, move |base, a| {
+                let a = NodeId(a);
+                let nb = self.neighbors(a);
+                let from = nb.partition_point(|&w| w <= a);
+                let start = *base;
+                *base += (nb.len() - from) as u32;
+                Some(
+                    nb[from..]
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, &b)| (EdgeId(start + i as u32), a, b)),
+                )
+            })
+            .flatten()
+    }
+
+    /// The subgraph keeping exactly the edges in `set`, on the full vertex
+    /// set, with edge universe ids as assigned by [`CsrAdjacency::edge_index`].
+    /// Equivalent to [`CsrAdjacency::from_edge_set`] without the `Graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` ranges over a different edge universe.
+    pub fn subgraph(&self, set: &EdgeSet) -> CsrAdjacency {
+        assert_eq!(
+            set.universe(),
+            self.edge_count(),
+            "edge set built for a different graph"
+        );
+        let n = self.node_count();
+        let mut degree = vec![0u32; n];
+        for (e, a, b) in self.forward_edges() {
+            if set.contains(e) {
+                degree[a.index()] += 1;
+                degree[b.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![NodeId(0); acc as usize];
+        // Reuse `degree` as per-node write cursors. Forward-edge order is
+        // lexicographic, so every run comes out already sorted ascending
+        // (all smaller-endpoint neighbors arrive first, each in ascending
+        // order, then all larger-endpoint ones, also ascending).
+        let cursor = &mut degree;
+        cursor.fill(0);
+        for (e, a, b) in self.forward_edges() {
+            if set.contains(e) {
+                let ia = offsets[a.index()] + cursor[a.index()];
+                targets[ia as usize] = b;
+                cursor[a.index()] += 1;
+                let ib = offsets[b.index()] + cursor[b.index()];
+                targets[ib as usize] = a;
+                cursor[b.index()] += 1;
+            }
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Whether the graph is connected (vacuously true when empty). One BFS.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = vec![NodeId(0)];
+        seen[0] = true;
+        let mut reached = 1usize;
+        while let Some(v) = queue.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    reached += 1;
+                    queue.push(w);
+                }
+            }
+        }
+        reached == n
+    }
+}
+
+/// Graph-identical edge ids for a [`CsrAdjacency`], without the `Graph`.
+///
+/// [`Graph::from_edges`] sorts and deduplicates its edge list, so its
+/// [`EdgeId`]s enumerate edges in lexicographic `(min, max)` endpoint
+/// order — which is exactly the order the forward half-edges (`a → b`
+/// with `a < b`) appear in a CSR traversal. This index is one prefix-sum
+/// array over that observation: `fwd[a]` counts the forward half-edges
+/// before node `a`, and the id of `{a, b}` is `fwd[a]` plus the rank of
+/// `b` among `a`'s larger neighbors. CSR-native construction drivers use
+/// it to emit [`EdgeSet`]s bit-identical to their `Graph`-built
+/// counterparts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrEdgeIndex {
+    /// `fwd[v]` = number of edges whose smaller endpoint is `< v`;
+    /// `fwd[n]` = edge count.
+    fwd: Vec<u32>,
+}
+
+impl CsrEdgeIndex {
+    /// Number of undirected edges (the edge-universe size).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.fwd[self.fwd.len() - 1] as usize
+    }
+
+    /// The edge id of `{u, v}` in `csr`, if present. O(log degree).
+    ///
+    /// Must be queried against the same adjacency the index was built
+    /// from; ids match [`Graph::find_edge`] on the equivalent graph.
+    pub fn edge_id(&self, csr: &CsrAdjacency, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let nb = csr.neighbors(a);
+        let from = nb.partition_point(|&w| w <= a);
+        let rank = nb[from..].binary_search(&b).ok()?;
+        Some(EdgeId(self.fwd[a.index()] + rank as u32))
+    }
+}
+
+/// Incrementally growable adjacency with flat storage: one singly linked
+/// half-edge chain per node, all chains sharing a single arena. The
+/// CSR-style companion for algorithms that *grow* their subgraph edge by
+/// edge (greedy/streaming spanner filters), where a static [`CsrAdjacency`]
+/// cannot be prebuilt and per-node `Vec<Vec<_>>` growth would scatter the
+/// hot BFS loops across thousands of small allocations.
+///
+/// Neighbors iterate in reverse insertion order; callers must be
+/// order-insensitive (bounded-distance predicates are).
+#[derive(Debug, Clone)]
+pub struct LinkedAdjacency {
+    /// Per node: arena index of its most recent half-edge, or `NO_EDGE`.
+    head: Vec<u32>,
+    /// Per half-edge: the previous half-edge of the same node.
+    next: Vec<u32>,
+    /// Per half-edge: the neighbor it points at.
+    dst: Vec<NodeId>,
+}
+
+const NO_EDGE: u32 = u32::MAX;
+
+impl LinkedAdjacency {
+    /// An edgeless adjacency over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LinkedAdjacency {
+            head: vec![NO_EDGE; n],
+            next: Vec::new(),
+            dst: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of undirected edges added so far.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.dst.len() / 2
+    }
+
+    /// Appends the undirected edge `{u, v}`. O(1). No dedup: offering the
+    /// same pair twice stores it twice (callers filter duplicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the arena would exceed
+    /// `u32::MAX` half-edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            self.dst.len() + 2 < NO_EDGE as usize,
+            "LinkedAdjacency arena exceeds u32 half-edge capacity"
+        );
+        for (a, b) in [(u, v), (v, u)] {
+            let slot = self.dst.len() as u32;
+            self.next.push(self.head[a.index()]);
+            self.dst.push(b);
+            self.head[a.index()] = slot;
+        }
+    }
+
+    /// The neighbors of `v`, most recently added first.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut at = self.head[v.index()];
+        std::iter::from_fn(move || {
+            if at == NO_EDGE {
+                return None;
+            }
+            let w = self.dst[at as usize];
+            at = self.next[at as usize];
+            Some(w)
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators;
+
+    #[test]
+    fn linked_adjacency_matches_vec_of_vecs() {
+        let g = generators::erdos_renyi_gnm(40, 100, 11);
+        let mut linked = LinkedAdjacency::new(40);
+        let mut vecs: Vec<Vec<NodeId>> = vec![Vec::new(); 40];
+        for (_, u, v) in g.edges() {
+            linked.add_edge(u, v);
+            vecs[u.index()].push(v);
+            vecs[v.index()].push(u);
+        }
+        assert_eq!(linked.node_count(), 40);
+        assert_eq!(linked.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            let mut a: Vec<NodeId> = linked.neighbors(v).collect();
+            a.sort_unstable();
+            let mut b = vecs[v.index()].clone();
+            b.sort_unstable();
+            assert_eq!(a, b, "node {v}");
+        }
+    }
 
     #[test]
     fn matches_graph_adjacency_sorted() {
@@ -277,6 +602,86 @@ mod tests {
         assert_eq!(csr.neighbors(NodeId(0)), &[NodeId(1)]);
         assert_eq!(csr.neighbors(NodeId(3)), &[NodeId(2)]);
         assert_eq!(csr.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn edge_index_matches_graph_edge_ids() {
+        let g = generators::erdos_renyi_gnm(80, 300, 21);
+        let csr = CsrAdjacency::from_graph(&g);
+        let idx = csr.edge_index();
+        assert_eq!(idx.edge_count(), g.edge_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for (e, u, v) in g.edges() {
+            assert_eq!(idx.edge_id(&csr, u, v), Some(e), "edge {u}-{v}");
+            assert_eq!(idx.edge_id(&csr, v, u), Some(e), "edge {v}-{u}");
+        }
+        // Non-edges and self-loops resolve to None.
+        for v in g.nodes() {
+            assert_eq!(idx.edge_id(&csr, v, v), None);
+        }
+        let mut missing = 0;
+        for u in 0..80u32 {
+            for v in (u + 1)..80 {
+                if g.find_edge(NodeId(u), NodeId(v)).is_none() {
+                    assert_eq!(idx.edge_id(&csr, NodeId(u), NodeId(v)), None);
+                    missing += 1;
+                }
+            }
+        }
+        assert!(missing > 0);
+    }
+
+    #[test]
+    fn forward_edges_match_graph_edges() {
+        let g = generators::erdos_renyi_gnm(60, 200, 9);
+        let csr = CsrAdjacency::from_graph(&g);
+        let ours: Vec<_> = csr.forward_edges().collect();
+        let theirs: Vec<_> = g.edges().collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn subgraph_matches_from_edge_set() {
+        let g = generators::erdos_renyi_gnm(50, 160, 13);
+        let csr = CsrAdjacency::from_graph(&g);
+        let mut set = EdgeSet::new(&g);
+        for (e, _, _) in g.edges() {
+            if e.0 % 3 != 0 {
+                set.insert(e);
+            }
+        }
+        assert_eq!(csr.subgraph(&set), CsrAdjacency::from_edge_set(&g, &set));
+    }
+
+    #[test]
+    fn connectivity_matches_graph() {
+        use crate::components::is_connected;
+        for (g, name) in [
+            (generators::connected_gnm(64, 100, 1), "connected"),
+            (generators::erdos_renyi_gnm(64, 30, 2), "sparse"),
+            (Graph::empty(5), "isolated"),
+            (Graph::empty(0), "empty"),
+            (Graph::empty(1), "single"),
+        ] {
+            let csr = CsrAdjacency::from_graph(&g);
+            assert_eq!(csr.is_connected(), is_connected(&g), "{name}");
+        }
+    }
+
+    #[test]
+    fn try_from_edges_rejects_oversized_n_before_allocating() {
+        // 2^33 nodes would be a 32 GiB degree array: the check must fire
+        // before the allocation, instantly.
+        let err = CsrAdjacency::try_from_edges(1usize << 33, std::iter::empty()).unwrap_err();
+        assert_eq!(err, CsrSizeError::Nodes { n: 1usize << 33 });
+        let msg = err.to_string();
+        assert!(msg.contains("shard the input"), "unactionable: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 node-id space")]
+    fn from_edges_panics_with_actionable_message() {
+        let _ = CsrAdjacency::from_edges(1usize << 33, std::iter::empty());
     }
 
     #[test]

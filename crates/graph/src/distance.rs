@@ -395,6 +395,28 @@ pub fn diameter_two_sweep(g: &Graph, start: NodeId) -> u32 {
     }
 }
 
+/// [`diameter_two_sweep`] over a bare CSR adjacency — identical result to
+/// the [`Graph`] version on the equivalent topology: BFS distances are
+/// neighbor-order-independent and the farthest-node tiebreak (max distance,
+/// then max node id) is reproduced exactly.
+pub fn diameter_two_sweep_csr(csr: &crate::csr::CsrAdjacency, start: NodeId) -> u32 {
+    let d1 = crate::traversal::bfs_distances_csr(csr, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter_map(|(v, d)| d.map(|x| (x, v)))
+        .max()
+        .map(|(_, v)| NodeId(v as u32));
+    match far {
+        Some(f) => crate::traversal::bfs_distances_csr(csr, f)
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0),
+        None => 0,
+    }
+}
+
 /// A sampled pair of distinct nodes together with its exact host-graph
 /// distance (finite; disconnected pairs are skipped during sampling).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -157,6 +157,24 @@ fn floyd_sample(total: u64, k: u64, rng: &mut SmallRng) -> Vec<u64> {
 ///
 /// Panics if `m < n - 1` or `m` exceeds n(n−1)/2.
 pub fn connected_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    Graph::from_edges(n, connected_gnm_edges(n, m, seed))
+}
+
+/// [`connected_gnm`] built straight into a [`CsrAdjacency`] (identical
+/// RNG stream, so the same seed yields the same graph) — no intermediate
+/// [`Graph`], for million-node construction workloads.
+///
+/// # Panics
+///
+/// Panics as [`connected_gnm`] does.
+pub fn connected_gnm_csr(n: usize, m: usize, seed: u64) -> CsrAdjacency {
+    CsrAdjacency::from_edges(n, connected_gnm_edges(n, m, seed))
+}
+
+/// The shared sampler behind [`connected_gnm`] and [`connected_gnm_csr`]:
+/// a uniform random spanning tree plus rejection-sampled extra edges,
+/// returned sorted and deduplicated.
+fn connected_gnm_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
     assert!(n >= 1, "need at least one node");
     assert!(m + 1 >= n, "m = {m} too small to connect {n} nodes");
     let total = n as u64 * (n.saturating_sub(1)) as u64 / 2;
@@ -189,7 +207,7 @@ pub fn connected_gnm(n: usize, m: usize, seed: u64) -> Graph {
     }
     let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
     sorted.sort_unstable();
-    Graph::from_edges(n, sorted)
+    sorted
 }
 
 /// Random d-regular graph via the pairing model with restarts; falls back to
@@ -679,6 +697,10 @@ mod tests {
         assert_eq!(
             random_regular_csr(100, 4, 11),
             CsrAdjacency::from_graph(&random_regular(100, 4, 11))
+        );
+        assert_eq!(
+            connected_gnm_csr(120, 300, 17),
+            CsrAdjacency::from_graph(&connected_gnm(120, 300, 17))
         );
     }
 

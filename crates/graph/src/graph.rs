@@ -41,7 +41,16 @@ impl From<u32> for NodeId {
 
 impl From<usize> for NodeId {
     fn from(v: usize) -> Self {
-        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+        match u32::try_from(v) {
+            Ok(i) => NodeId(i),
+            Err(_) => panic!(
+                "node index {v} exceeds the u32 node-id space (max {}); \
+                 graphs are limited to u32::MAX nodes — shard the input or \
+                 reduce n (streaming builders reject oversized n up front \
+                 via CsrAdjacency::try_from_edges)",
+                u32::MAX
+            ),
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use crate::csr::CsrAdjacency;
 use crate::edgeset::EdgeSet;
 use crate::graph::{Graph, NodeId};
 
@@ -23,6 +24,26 @@ pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
     while let Some(u) = queue.pop_front() {
         let du = dist[u.index()].expect("queued node has distance");
         for &(v, _) in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// [`bfs_distances`] over a bare [`CsrAdjacency`] — identical output to the
+/// [`Graph`] version on the equivalent topology (BFS distances do not
+/// depend on neighbor order).
+pub fn bfs_distances_csr(csr: &CsrAdjacency, src: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; csr.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Some(0);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued node has distance");
+        for &v in csr.neighbors(u) {
             if dist[v.index()].is_none() {
                 dist[v.index()] = Some(du + 1);
                 queue.push_back(v);

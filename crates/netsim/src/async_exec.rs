@@ -90,6 +90,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 
@@ -100,7 +101,7 @@ use crate::csr::CsrAdjacency;
 use crate::faults::FaultPlan;
 use crate::metrics::RunMetrics;
 use crate::rng::node_rng;
-use crate::sync::{Ctx, MessageSize, Protocol, RunError};
+use crate::sync::{scatter, Ctx, MessageSize, Protocol, RunError};
 use crate::trace::{NullSink, PhaseAction, TraceSink, Tracer};
 
 /// How round safety is disseminated between protocol rounds.
@@ -179,10 +180,12 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// The skeleton synchronizer's BFS tree.
+/// The skeleton synchronizer's BFS tree. Children live in one flat arena
+/// with per-node offsets (a tree has at most `n - 1` child slots total).
 struct SyncTree {
     parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    children_flat: Vec<NodeId>,
+    children_off: Vec<u32>,
     root: NodeId,
 }
 
@@ -193,22 +196,47 @@ impl SyncTree {
     /// connect all nodes — the synchronizer's pulse must reach everyone.
     fn build(adjacency: &CsrAdjacency, edges: &[(NodeId, NodeId)]) -> SyncTree {
         let n = adjacency.node_count();
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Skeleton adjacency as a flat half-edge arena (counting scatter,
+        // then per-run sort + dedup) instead of per-node `Vec` growth; the
+        // BFS below visits neighbors ascending exactly as before.
+        let mut off: Vec<u32> = vec![0; n + 1];
         for &(a, b) in edges {
             assert!(
                 adjacency.neighbors(a).binary_search(&b).is_ok(),
                 "skeleton synchronizer edge ({a}, {b}) is not a graph edge"
             );
-            adj[a.index()].push(b);
-            adj[b.index()].push(a);
+            off[a.index() + 1] += 1;
+            off[b.index() + 1] += 1;
         }
-        for l in &mut adj {
-            l.sort_unstable();
-            l.dedup();
+        for v in 0..n {
+            off[v + 1] += off[v];
+        }
+        let mut flat: Vec<NodeId> = vec![NodeId(0); off[n] as usize];
+        let mut cursor: Vec<u32> = off[..n].to_vec();
+        for &(a, b) in edges {
+            flat[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            flat[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        // Deduplicate each sorted run in place; `deg[v]` is the effective
+        // (deduped) length of node `v`'s run.
+        let mut deg: Vec<u32> = vec![0; n];
+        for v in 0..n {
+            let run = &mut flat[off[v] as usize..off[v + 1] as usize];
+            run.sort_unstable();
+            let mut k = 0usize;
+            for i in 0..run.len() {
+                if i == 0 || run[i] != run[i - 1] {
+                    let w = run[i];
+                    run[k] = w;
+                    k += 1;
+                }
+            }
+            deg[v] = k as u32;
         }
         let root = NodeId(0);
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut visited = vec![false; n];
         let mut frontier = std::collections::VecDeque::from([root]);
         if n > 0 {
@@ -218,11 +246,11 @@ impl SyncTree {
         // skeleton synchronizer's per-round latency — is the subgraph's
         // eccentricity from the root, not a DFS path length.
         while let Some(v) = frontier.pop_front() {
-            for &w in &adj[v.index()] {
+            let lo = off[v.index()] as usize;
+            for &w in &flat[lo..lo + deg[v.index()] as usize] {
                 if !visited[w.index()] {
                     visited[w.index()] = true;
                     parent[w.index()] = Some(v);
-                    children[v.index()].push(w);
                     frontier.push_back(w);
                 }
             }
@@ -231,14 +259,36 @@ impl SyncTree {
             visited.iter().all(|&b| b),
             "skeleton synchronizer requires a spanning connected subgraph"
         );
-        for c in &mut children {
-            c.sort_unstable();
+        // Children as a flat arena: counting scatter over ascending child
+        // ids leaves every node's child run sorted for free.
+        let mut children_off: Vec<u32> = vec![0; n + 1];
+        for p in parent.iter().flatten() {
+            children_off[p.index() + 1] += 1;
+        }
+        for v in 0..n {
+            children_off[v + 1] += children_off[v];
+        }
+        let mut children_flat: Vec<NodeId> = vec![NodeId(0); children_off[n] as usize];
+        let mut ccursor: Vec<u32> = children_off[..n].to_vec();
+        for (w, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children_flat[ccursor[p.index()] as usize] = NodeId(w as u32);
+                ccursor[p.index()] += 1;
+            }
         }
         SyncTree {
             parent,
-            children,
+            children_flat,
+            children_off,
             root,
         }
+    }
+
+    /// Node `v`'s tree children, ascending.
+    fn children(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.children_off[v.index()] as usize;
+        let hi = self.children_off[v.index() + 1] as usize;
+        &self.children_flat[lo..hi]
     }
 }
 
@@ -272,28 +322,37 @@ impl SyncState {
 /// with [`AsyncNetwork::with_synchronizer`]. See the
 /// [module docs](crate::async_exec) for the execution model and the parity
 /// guarantees.
-pub struct AsyncNetwork<'g> {
-    graph: &'g Graph,
+/// Like the round-synchronous executors, the topology is one `Arc`'d
+/// [`CsrAdjacency`]; [`AsyncNetwork::from_csr`] runs straight off a
+/// streamed adjacency with no [`Graph`] ever materialized.
+pub struct AsyncNetwork {
     budget: MessageBudget,
     seed: u64,
     metrics: RunMetrics,
-    adjacency: CsrAdjacency,
+    adjacency: Arc<CsrAdjacency>,
     /// Delay model; only the plan's delay clause (and scope) is consulted.
     delays: FaultPlan,
     synchronizer: Synchronizer,
     trace_deliveries: bool,
 }
 
-impl<'g> AsyncNetwork<'g> {
+impl AsyncNetwork {
     /// An asynchronous network on `graph` with unit link latency and the
     /// α-synchronizer.
-    pub fn new(graph: &'g Graph, budget: MessageBudget, seed: u64) -> Self {
+    pub fn new(graph: &Graph, budget: MessageBudget, seed: u64) -> Self {
+        AsyncNetwork::from_csr(Arc::new(CsrAdjacency::from_graph(graph)), budget, seed)
+    }
+
+    /// An asynchronous network straight over a shared CSR adjacency — the
+    /// zero-`Graph` construction path. Runs are byte-identical (states,
+    /// metrics, traces) to an [`AsyncNetwork::new`] over the equivalent
+    /// graph.
+    pub fn from_csr(adjacency: Arc<CsrAdjacency>, budget: MessageBudget, seed: u64) -> Self {
         AsyncNetwork {
-            graph,
             budget,
             seed,
             metrics: RunMetrics::default(),
-            adjacency: CsrAdjacency::from_graph(graph),
+            adjacency,
             delays: FaultPlan::default(),
             synchronizer: Synchronizer::Alpha,
             trace_deliveries: false,
@@ -324,9 +383,15 @@ impl<'g> AsyncNetwork<'g> {
         self
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        self.graph
+    /// The shared sorted adjacency.
+    pub fn adjacency(&self) -> &CsrAdjacency {
+        &self.adjacency
+    }
+
+    /// A clone of the `Arc` holding the adjacency, for sharing with other
+    /// executors, drivers, or verification passes.
+    pub fn adjacency_arc(&self) -> Arc<CsrAdjacency> {
+        Arc::clone(&self.adjacency)
     }
 
     /// The message budget in force (protocol messages only; synchronizer
@@ -412,7 +477,7 @@ impl<'g> AsyncNetwork<'g> {
         P: Protocol,
         F: FnMut(NodeId, &mut SmallRng) -> P,
     {
-        let n = self.graph.node_count();
+        let n = self.adjacency.node_count();
         self.metrics = RunMetrics::default();
         let traced = tracer.enabled();
         let tree = match &self.synchronizer {
@@ -430,9 +495,15 @@ impl<'g> AsyncNetwork<'g> {
         let mut horizon: u64 = 0;
         // The local time at which each node executes the current round.
         let mut exec_time: Vec<u64> = vec![0; n];
-        // Inboxes for the next round, filled by the drain; sorted by
-        // sender before delivery (one message per sender per round).
-        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        // Arrivals for the next round, staged as (receiver, sender, msg) in
+        // arrival order, then counting-scattered into one flat arena whose
+        // per-receiver slices are sorted by sender before delivery (one
+        // message per sender per round) — the same arena discipline as the
+        // sequential executor, with no per-node `Vec` growth.
+        let mut staging: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+        let mut flat: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut offsets: Vec<u32> = vec![0; n + 1];
+        let mut cursor: Vec<u32> = vec![0; n];
         let mut sync = SyncState::new(n);
         let mut in_flight: u64 = 0;
 
@@ -508,7 +579,7 @@ impl<'g> AsyncNetwork<'g> {
                 &mut heap,
                 &mut seq,
                 &mut horizon,
-                &mut inboxes,
+                &mut staging,
                 &mut sync,
                 &mut in_flight,
                 &exec_time,
@@ -516,6 +587,7 @@ impl<'g> AsyncNetwork<'g> {
                 tracer,
                 traced,
             );
+            scatter(&mut staging, &mut flat, &mut offsets, &mut cursor);
             for (v, t) in exec_time.iter_mut().enumerate() {
                 *t = sync.start[v].expect("synchronizer delivered a start time");
                 horizon = horizon.max(*t);
@@ -529,7 +601,10 @@ impl<'g> AsyncNetwork<'g> {
             }
             for v in 0..n {
                 let node = NodeId(v as u32);
-                inboxes[v].sort_unstable_by_key(|&(s, _)| s);
+                let inbox = &mut flat[offsets[v] as usize..offsets[v + 1] as usize];
+                // Arrival order is delay-dependent; sorting by sender
+                // restores the synchronous inbox order.
+                inbox.sort_unstable_by_key(|&(s, _)| s);
                 outbox.clear();
                 stamp += 1;
                 {
@@ -545,7 +620,7 @@ impl<'g> AsyncNetwork<'g> {
                         &mut phase_actions,
                         traced,
                     );
-                    nodes[v].round(&mut ctx, &inboxes[v]);
+                    nodes[v].round(&mut ctx, inbox);
                 }
                 if traced {
                     tracer.apply_actions(&mut phase_actions);
@@ -565,7 +640,6 @@ impl<'g> AsyncNetwork<'g> {
                     tracer,
                     traced,
                 )?;
-                inboxes[v].clear();
             }
             if traced {
                 tracer.end_round();
@@ -586,7 +660,7 @@ impl<'g> AsyncNetwork<'g> {
         heap: &mut BinaryHeap<Event<M>>,
         seq: &mut u64,
         horizon: &mut u64,
-        inboxes: &mut [Vec<(NodeId, M)>],
+        staging: &mut Vec<(NodeId, NodeId, M)>,
         sync: &mut SyncState,
         in_flight: &mut u64,
         exec_time: &[u64],
@@ -594,11 +668,11 @@ impl<'g> AsyncNetwork<'g> {
         tracer: &mut Tracer<'_>,
         traced: bool,
     ) {
-        let n = inboxes.len();
+        let n = self.adjacency.node_count();
         for v in 0..n {
             sync.need[v] = match tree {
                 None => self.adjacency.neighbors(NodeId(v as u32)).len() as u32 + 1,
-                Some(t) => t.children[v].len() as u32 + 1,
+                Some(t) => t.children(NodeId(v as u32)).len() as u32 + 1,
             };
             sync.start[v] = None;
         }
@@ -622,7 +696,7 @@ impl<'g> AsyncNetwork<'g> {
                     if traced && self.trace_deliveries {
                         tracer.on_deliver(ev.time, round, from.0, to.0, words as u64);
                     }
-                    inboxes[to.index()].push((from, msg));
+                    staging.push((to, from, msg));
                     *in_flight -= 1;
                     // Ack back over the same link.
                     let lat = self.delays.link_latency(ev.time, to, from);
@@ -657,7 +731,7 @@ impl<'g> AsyncNetwork<'g> {
                 EventKind::Pulse { to } => {
                     sync.start[to.index()] = Some(ev.time);
                     let t = tree.expect("pulse implies tree");
-                    for &c in &t.children[to.index()] {
+                    for &c in t.children(to) {
                         let lat = self.delays.link_latency(ev.time, to, c);
                         self.metrics.sync_messages += 1;
                         push(heap, seq, ev.time + lat, to, EventKind::Pulse { to: c });
@@ -721,7 +795,7 @@ impl<'g> AsyncNetwork<'g> {
             None => {
                 debug_assert_eq!(v, tree.root);
                 sync.start[v.index()] = Some(t);
-                for &c in &tree.children[v.index()] {
+                for &c in tree.children(v) {
                     let lat = self.delays.link_latency(t, v, c);
                     self.metrics.sync_messages += 1;
                     push(heap, seq, t + lat, v, EventKind::Pulse { to: c });

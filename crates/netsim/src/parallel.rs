@@ -16,16 +16,21 @@
 //! The worker pool is created **once per run** with `std::thread::scope` and
 //! parked on a pair of round barriers; no threads are spawned per round.
 //! Each worker owns one contiguous chunk of nodes behind a `Mutex` (contended
-//! only at round boundaries, when the coordinator routes messages). Inboxes
-//! and outboxes are cleared and reused across rounds, so the steady-state
-//! loop performs no per-round heap allocation — mirroring the sequential
-//! executor's double-buffered arenas.
+//! only at round boundaries, when the coordinator routes messages). Per
+//! chunk, inboxes and outboxes are single flat arenas with per-node offset
+//! tables — no per-node `Vec` growth: workers append sends to the chunk's
+//! outbox arena and record each node's boundary; the coordinator drains the
+//! arenas in global sender order into one staging buffer and
+//! counting-scatters it back into the chunk inbox arenas (stable, so every
+//! inbox slice stays sender-sorted). All buffers keep their capacity across
+//! rounds, so the steady-state loop performs no per-round heap allocation —
+//! mirroring the sequential executor's arenas.
 //!
 //! Useful for big-n experiment sweeps; the sequential executor remains the
 //! reference implementation.
 
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use rand::rngs::SmallRng;
 
@@ -56,8 +61,16 @@ pub struct ParallelOutcome<P> {
 struct ChunkSlot<P: Protocol> {
     nodes: Vec<P>,
     rngs: Vec<SmallRng>,
-    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
-    outboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Flat inbox arena: node `i`'s inbox is
+    /// `inbox_flat[inbox_off[i]..inbox_off[i + 1]]`, sender-sorted. Rebuilt
+    /// by the coordinator's counting scatter each round.
+    inbox_flat: Vec<(NodeId, P::Msg)>,
+    inbox_off: Vec<u32>,
+    /// Flat outbox arena: workers append in node order and record node
+    /// `i`'s boundary in `out_off[i + 1]`, so the coordinator can drain the
+    /// arena front-to-back while attributing every message to its sender.
+    out_flat: Vec<(NodeId, P::Msg)>,
+    out_off: Vec<u32>,
     /// Duplicate-send stamps (indexed by *target* node, so length n).
     seen: Vec<u64>,
     stamp: u64,
@@ -75,27 +88,29 @@ struct ChunkSlot<P: Protocol> {
 /// [`ParallelNetwork::run`] to quiescence, read [`ParallelNetwork::metrics`]
 /// afterwards — the metrics are retained even when `run` returns an error,
 /// with exactly the partial accounting the sequential executor would leave.
-pub struct ParallelNetwork<'g> {
-    graph: &'g Graph,
+///
+/// Like the sequential executor, the topology is one `Arc`'d
+/// [`CsrAdjacency`]; [`ParallelNetwork::from_csr`] runs straight off a
+/// streamed adjacency with no [`Graph`] ever materialized.
+pub struct ParallelNetwork {
     budget: MessageBudget,
     seed: u64,
     threads: usize,
     metrics: RunMetrics,
-    adjacency: CsrAdjacency,
+    adjacency: Arc<CsrAdjacency>,
     /// Fault schedule, if any; `None` selects the pre-fault code path.
     faults: Option<FaultPlan>,
 }
 
-impl<'g> ParallelNetwork<'g> {
+impl ParallelNetwork {
     /// A parallel network on `graph` with `threads` workers.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
-    pub fn new(graph: &'g Graph, budget: MessageBudget, seed: u64, threads: usize) -> Self {
-        ParallelNetwork::with_adjacency(
-            graph,
-            CsrAdjacency::from_graph(graph),
+    pub fn new(graph: &Graph, budget: MessageBudget, seed: u64, threads: usize) -> Self {
+        ParallelNetwork::from_csr(
+            Arc::new(CsrAdjacency::from_graph(graph)),
             budget,
             seed,
             threads,
@@ -110,20 +125,36 @@ impl<'g> ParallelNetwork<'g> {
     /// Panics if `threads == 0` or if `adjacency` was built for a different
     /// node count.
     pub fn with_adjacency(
-        graph: &'g Graph,
+        graph: &Graph,
         adjacency: CsrAdjacency,
         budget: MessageBudget,
         seed: u64,
         threads: usize,
     ) -> Self {
-        assert!(threads >= 1, "need at least one worker thread");
         assert_eq!(
             adjacency.node_count(),
             graph.node_count(),
             "adjacency built for a different graph"
         );
+        ParallelNetwork::from_csr(Arc::new(adjacency), budget, seed, threads)
+    }
+
+    /// A parallel network straight over a shared CSR adjacency — the
+    /// zero-`Graph` construction path. Runs are byte-identical (states,
+    /// metrics, traces) to a [`ParallelNetwork::new`] over the equivalent
+    /// graph, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn from_csr(
+        adjacency: Arc<CsrAdjacency>,
+        budget: MessageBudget,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
         ParallelNetwork {
-            graph,
             budget,
             seed,
             threads,
@@ -147,11 +178,6 @@ impl<'g> ParallelNetwork<'g> {
         self.faults.as_ref()
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        self.graph
-    }
-
     /// The message budget in force.
     pub fn budget(&self) -> MessageBudget {
         self.budget
@@ -171,6 +197,12 @@ impl<'g> ParallelNetwork<'g> {
     /// The shared sorted adjacency.
     pub fn adjacency(&self) -> &CsrAdjacency {
         &self.adjacency
+    }
+
+    /// A clone of the `Arc` holding the adjacency, for sharing with other
+    /// executors, drivers, or verification passes.
+    pub fn adjacency_arc(&self) -> Arc<CsrAdjacency> {
+        Arc::clone(&self.adjacency)
     }
 
     /// Runs `factory`-created protocols to quiescence on the worker pool.
@@ -247,7 +279,7 @@ impl<'g> ParallelNetwork<'g> {
         F: FnMut(NodeId, &mut SmallRng) -> P,
     {
         self.metrics = RunMetrics::default();
-        let n = self.graph.node_count();
+        let n = self.adjacency.node_count();
         // The workers consult the plan for their skip decisions (pure
         // functions, so no coordination is needed); the coordinator owns
         // the fault engine and applies message fates during routing — the
@@ -281,8 +313,10 @@ impl<'g> ParallelNetwork<'g> {
                 Mutex::new(ChunkSlot {
                     nodes,
                     rngs,
-                    inboxes: (lo..hi).map(|_| Vec::new()).collect(),
-                    outboxes: (lo..hi).map(|_| Vec::new()).collect(),
+                    inbox_flat: Vec::new(),
+                    inbox_off: vec![0u32; hi - lo + 1],
+                    out_flat: Vec::new(),
+                    out_off: vec![0u32; hi - lo + 1],
                     seen: vec![0u64; n],
                     stamp: 0,
                     phases: (lo..hi).map(|_| Vec::new()).collect(),
@@ -309,31 +343,38 @@ impl<'g> ParallelNetwork<'g> {
                         let ChunkSlot {
                             nodes,
                             rngs,
-                            inboxes,
-                            outboxes,
+                            inbox_flat,
+                            inbox_off,
+                            out_flat,
+                            out_off,
                             seen,
                             stamp,
                             phases,
                             done,
                         } = &mut *guard;
+                        out_flat.clear();
+                        out_off[0] = 0;
                         for i in 0..nodes.len() {
                             let v = NodeId((base + i) as u32);
                             // Crashed or stuttering nodes execute nothing this
-                            // round; their (stale) buffers are cleared so the
-                            // coordinator routes nothing on their behalf. The
+                            // round; an empty outbox range keeps the
+                            // coordinator from routing on their behalf. (Their
+                            // inbox slice is necessarily empty: the fault
+                            // engine never delivers to a skipped node.) The
                             // skip decision is a pure function of (plan, v,
                             // round), identical on every executor and thread.
                             if FAULTS && plan.skips(v, round) {
-                                outboxes[i].clear();
-                                inboxes[i].clear();
                                 phases[i].clear();
+                                out_off[i + 1] = out_flat.len() as u32;
                                 continue;
                             }
-                            // Sorted for free: the coordinator routes messages
-                            // in global ascending sender order (chunk by chunk,
-                            // node by node), so each inbox is already sorted.
-                            debug_assert!(inboxes[i].windows(2).all(|w| w[0].0 <= w[1].0));
-                            outboxes[i].clear();
+                            // Sorted for free: the coordinator's counting
+                            // scatter is stable over the global ascending
+                            // sender order, so each inbox slice is already
+                            // sorted.
+                            let inbox =
+                                &inbox_flat[inbox_off[i] as usize..inbox_off[i + 1] as usize];
+                            debug_assert!(inbox.windows(2).all(|w| w[0].0 <= w[1].0));
                             *stamp += 1;
                             let mut ctx = Ctx::new_for_executor(
                                 v,
@@ -341,7 +382,7 @@ impl<'g> ParallelNetwork<'g> {
                                 round,
                                 adjacency.neighbors(v),
                                 &mut rngs[i],
-                                &mut outboxes[i],
+                                out_flat,
                                 seen,
                                 *stamp,
                                 &mut phases[i],
@@ -350,9 +391,9 @@ impl<'g> ParallelNetwork<'g> {
                             if round == 0 {
                                 nodes[i].init(&mut ctx);
                             } else {
-                                nodes[i].round(&mut ctx, &inboxes[i]);
+                                nodes[i].round(&mut ctx, inbox);
                             }
-                            inboxes[i].clear();
+                            out_off[i + 1] = out_flat.len() as u32;
                         }
                         *done = nodes.iter().enumerate().all(|(i, p)| {
                             p.done() || (FAULTS && plan.crashed(NodeId((base + i) as u32), round))
@@ -373,7 +414,14 @@ impl<'g> ParallelNetwork<'g> {
             // node order = node order). Budget checks and metric updates
             // happen in that same order, which is what makes the partial
             // accounting of a failed run identical to the sequential path.
-            let mut scratch: Vec<(NodeId, P::Msg)> = Vec::new();
+            // Sends are staged as (receiver, sender, msg) and then
+            // counting-scattered into the chunk inbox arenas — the same
+            // stable scatter the sequential executor uses, split per chunk.
+            // All four buffers keep their capacity across rounds.
+            let mut staging: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+            let mut counts: Vec<u32> = vec![0; n];
+            let mut cursor: Vec<u32> = vec![0; n];
+            let mut bases: Vec<*mut (NodeId, P::Msg)> = Vec::with_capacity(nchunks);
             let mut deliver = |round: u32,
                                metrics: &mut RunMetrics,
                                fstate: &mut FaultState<P::Msg>,
@@ -383,23 +431,23 @@ impl<'g> ParallelNetwork<'g> {
                     .iter()
                     .map(|m| m.lock().expect("route lock"))
                     .collect();
-                let mut in_flight = 0u64;
-                for ci in 0..nchunks {
-                    for i in 0..guards[ci].nodes.len() {
+                for (ci, slot) in guards.iter_mut().enumerate() {
+                    let g = &mut **slot;
+                    let nlen = g.nodes.len();
+                    let mut sends = g.out_flat.drain(..);
+                    for i in 0..nlen {
                         let sender = NodeId((ci * chunk + i) as u32);
                         // Phase declarations first, then the node's
                         // messages — the order the sequential flush uses.
                         if TRACED {
-                            tracer.apply_actions(&mut guards[ci].phases[i]);
+                            tracer.apply_actions(&mut g.phases[i]);
                         }
-                        // Swap the outbox out so pushing into (possibly the
-                        // same) guard doesn't alias; capacities ping-pong
-                        // between `scratch` and the slot, so no allocation.
-                        std::mem::swap(&mut scratch, &mut guards[ci].outboxes[i]);
+                        let cnt = (g.out_off[i + 1] - g.out_off[i]) as usize;
                         if TRACED {
-                            tracer.on_outbox(scratch.len());
+                            tracer.on_outbox(cnt);
                         }
-                        for (to, msg) in scratch.drain(..) {
+                        for _ in 0..cnt {
+                            let (to, msg) = sends.next().expect("outbox offsets tile the arena");
                             let words = msg.words();
                             if !budget.allows(words) {
                                 return Err(BudgetViolation {
@@ -419,24 +467,85 @@ impl<'g> ParallelNetwork<'g> {
                             if FAULTS {
                                 fstate.accept(round, sender, to, msg);
                             } else {
-                                let tc = to.index() / chunk;
-                                let ti = to.index() - tc * chunk;
-                                guards[tc].inboxes[ti].push((sender, msg));
-                                in_flight += 1;
+                                staging.push((to, sender, msg));
                             }
                         }
                     }
                 }
+                let in_flight;
                 if FAULTS {
                     // Materialize next round's inboxes through the fault
                     // engine; messages still pending (delayed or held for a
-                    // stutterer) stay in flight.
+                    // stutterer) stay in flight. `flush_due` emits receivers
+                    // in ascending global order, so appending chunk by chunk
+                    // leaves each arena receiver-grouped, and the counts
+                    // prefix-sum into the offset tables.
+                    counts.fill(0);
+                    for g in guards.iter_mut() {
+                        g.inbox_flat.clear();
+                    }
                     let sunk = fstate.flush_due(round + 1, |to, s, m| {
-                        let tc = to.index() / chunk;
-                        let ti = to.index() - tc * chunk;
-                        guards[tc].inboxes[ti].push((s, m));
+                        counts[to.index()] += 1;
+                        guards[to.index() / chunk].inbox_flat.push((s, m));
                     });
+                    for (ci, slot) in guards.iter_mut().enumerate() {
+                        let g = &mut **slot;
+                        let lo = ci * chunk;
+                        g.inbox_off[0] = 0;
+                        for i in 0..g.nodes.len() {
+                            g.inbox_off[i + 1] = g.inbox_off[i] + counts[lo + i];
+                        }
+                        debug_assert_eq!(
+                            *g.inbox_off.last().expect("offset table") as usize,
+                            g.inbox_flat.len()
+                        );
+                    }
                     in_flight = sunk + fstate.in_flight();
+                } else {
+                    // Stable counting scatter of the staged sends into the
+                    // chunk inbox arenas (see `sync::scatter` for the
+                    // single-arena version of the same idea).
+                    in_flight = staging.len() as u64;
+                    counts.fill(0);
+                    for &(to, _, _) in staging.iter() {
+                        counts[to.index()] += 1;
+                    }
+                    for (ci, slot) in guards.iter_mut().enumerate() {
+                        let g = &mut **slot;
+                        let lo = ci * chunk;
+                        g.inbox_off[0] = 0;
+                        for i in 0..g.nodes.len() {
+                            g.inbox_off[i + 1] = g.inbox_off[i] + counts[lo + i];
+                            cursor[lo + i] = g.inbox_off[i];
+                        }
+                        let total = *g.inbox_off.last().expect("offset table") as usize;
+                        g.inbox_flat.clear();
+                        g.inbox_flat.reserve(total);
+                    }
+                    bases.clear();
+                    bases.extend(guards.iter_mut().map(|g| g.inbox_flat.as_mut_ptr()));
+                    // SAFETY: the counting pass guarantees each chunk's
+                    // bucket cursors tile `0..total` of that chunk's reserved
+                    // arena exactly, so each slot is written exactly once
+                    // before set_len. Nothing between the writes can panic
+                    // (ptr::write and u32 increments on values the counting
+                    // pass already produced), so no partially-initialized
+                    // buffer is ever observed; the base pointers stay valid
+                    // because nothing touches the arenas until set_len.
+                    unsafe {
+                        for (to, sender, msg) in staging.drain(..) {
+                            let c = &mut cursor[to.index()];
+                            std::ptr::write(
+                                bases[to.index() / chunk].add(*c as usize),
+                                (sender, msg),
+                            );
+                            *c += 1;
+                        }
+                        for g in guards.iter_mut() {
+                            let total = *g.inbox_off.last().expect("offset table") as usize;
+                            g.inbox_flat.set_len(total);
+                        }
+                    }
                 }
                 let all_done = guards.iter().all(|g| g.done);
                 Ok((in_flight, all_done))

@@ -20,6 +20,8 @@
 //! ([`Ctx::send`] is O(log deg), [`Ctx::broadcast`] is O(deg)). Adjacency is
 //! a flat [`CsrAdjacency`] shared with the parallel executor.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 
 use spanner_graph::{Graph, NodeId};
@@ -302,23 +304,27 @@ impl From<BudgetViolation> for RunError {
 /// [`Network::metrics`] — including after a failed run, where the metrics
 /// cover everything accepted up to the error (the parallel executor
 /// guarantees the identical partial accounting).
+///
+/// The topology is one `Arc`'d [`CsrAdjacency`]; a [`Graph`] is only an
+/// optional convenience input ([`Network::new`]), never a requirement —
+/// [`Network::from_csr`] runs straight off a streamed adjacency, which is
+/// what the million-node construction drivers do.
 #[derive(Debug)]
-pub struct Network<'g> {
-    graph: &'g Graph,
+pub struct Network {
     budget: MessageBudget,
     seed: u64,
     metrics: RunMetrics,
     /// Sorted flat adjacency (the Ctx hands slices of it out and `send`
-    /// binary searches them).
-    adjacency: CsrAdjacency,
+    /// binary searches them), shared with drivers and other executors.
+    adjacency: Arc<CsrAdjacency>,
     /// Fault schedule, if any; `None` selects the pre-fault code path.
     faults: Option<FaultPlan>,
 }
 
-impl<'g> Network<'g> {
+impl Network {
     /// A network on `graph` with the given message budget and master seed.
-    pub fn new(graph: &'g Graph, budget: MessageBudget, seed: u64) -> Self {
-        Network::with_adjacency(graph, CsrAdjacency::from_graph(graph), budget, seed)
+    pub fn new(graph: &Graph, budget: MessageBudget, seed: u64) -> Self {
+        Network::from_csr(Arc::new(CsrAdjacency::from_graph(graph)), budget, seed)
     }
 
     /// Like [`Network::new`], reusing an already-built adjacency (e.g. one
@@ -328,7 +334,7 @@ impl<'g> Network<'g> {
     ///
     /// Panics if `adjacency` was built for a different node count.
     pub fn with_adjacency(
-        graph: &'g Graph,
+        graph: &Graph,
         adjacency: CsrAdjacency,
         budget: MessageBudget,
         seed: u64,
@@ -338,8 +344,14 @@ impl<'g> Network<'g> {
             graph.node_count(),
             "adjacency built for a different graph"
         );
+        Network::from_csr(Arc::new(adjacency), budget, seed)
+    }
+
+    /// A network straight over a shared CSR adjacency — the zero-`Graph`
+    /// construction path. Runs are byte-identical (states, metrics,
+    /// traces) to a [`Network::new`] over the equivalent graph.
+    pub fn from_csr(adjacency: Arc<CsrAdjacency>, budget: MessageBudget, seed: u64) -> Self {
         Network {
-            graph,
             budget,
             seed,
             metrics: RunMetrics::default(),
@@ -362,11 +374,6 @@ impl<'g> Network<'g> {
         self.faults.as_ref()
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        self.graph
-    }
-
     /// The message budget in force.
     pub fn budget(&self) -> MessageBudget {
         self.budget
@@ -380,6 +387,12 @@ impl<'g> Network<'g> {
     /// The shared sorted adjacency.
     pub fn adjacency(&self) -> &CsrAdjacency {
         &self.adjacency
+    }
+
+    /// A clone of the `Arc` holding the adjacency, for sharing with other
+    /// executors, drivers, or verification passes.
+    pub fn adjacency_arc(&self) -> Arc<CsrAdjacency> {
+        Arc::clone(&self.adjacency)
     }
 
     /// Runs `factory`-created protocols to quiescence, sequentially.
@@ -452,22 +465,21 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &mut SmallRng) -> P,
     {
-        let n = self.graph.node_count();
+        let n = self.adjacency.node_count();
         self.metrics = RunMetrics::default();
         // The fault engine (empty and untouched unless FAULTS). Faulted
         // rounds bypass the counting scatter: deliveries go through
-        // `FaultState::flush_due` into a per-node inbox arena, because
+        // `FaultState::flush_due` into a flat inbox arena, because
         // delayed/held messages break the global-sender-order precondition
-        // the scatter needs.
+        // the scatter needs. `flush_due` sinks receivers in ascending
+        // order, so the arena is one append-only `Vec` with per-receiver
+        // offsets — no per-node `Vec` growth on the fault path either.
         let mut fstate: FaultState<P::Msg> = FaultState::new(
             self.faults.clone().unwrap_or_default(),
             if FAULTS { n } else { 0 },
         );
-        let mut fault_inboxes: Vec<Vec<(NodeId, P::Msg)>> = if FAULTS {
-            (0..n).map(|_| Vec::new()).collect()
-        } else {
-            Vec::new()
-        };
+        let mut fault_flat: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut fault_counts: Vec<u32> = vec![0; if FAULTS { n } else { 0 }];
 
         let mut rngs: Vec<SmallRng> = (0..n as u32).map(|v| node_rng(self.seed, v, 0)).collect();
         let mut nodes: Vec<P> = (0..n as u32)
@@ -567,12 +579,19 @@ impl<'g> Network<'g> {
 
             if FAULTS {
                 fstate.begin_round(round);
-                for inbox in &mut fault_inboxes {
-                    inbox.clear();
-                }
+                fault_flat.clear();
+                fault_counts.fill(0);
                 fstate.flush_due(round, |to, sender, msg| {
-                    fault_inboxes[to.index()].push((sender, msg));
+                    fault_counts[to.index()] += 1;
+                    fault_flat.push((sender, msg));
                 });
+                // `flush_due` emits receivers in ascending order, so the
+                // arena is already receiver-grouped: prefix-sum the counts
+                // into the shared offsets table.
+                offsets[0] = 0;
+                for v in 0..n {
+                    offsets[v + 1] = offsets[v] + fault_counts[v];
+                }
             } else {
                 scatter(&mut staging, &mut flat, &mut offsets, &mut cursor);
             }
@@ -583,7 +602,7 @@ impl<'g> Network<'g> {
                     continue;
                 }
                 let inbox: &[(NodeId, P::Msg)] = if FAULTS {
-                    &fault_inboxes[v]
+                    &fault_flat[offsets[v] as usize..offsets[v + 1] as usize]
                 } else {
                     &flat[offsets[v] as usize..offsets[v + 1] as usize]
                 };
@@ -678,7 +697,9 @@ impl<'g> Network<'g> {
 ///
 /// Message counts fit `u32`: a round delivers at most one message per
 /// directed edge, and [`CsrAdjacency`] already bounds half-edges to `u32`.
-fn scatter<M>(
+/// Shared with the asynchronous executor, which regroups each recovered
+/// round's arrivals the same way.
+pub(crate) fn scatter<M>(
     staging: &mut Vec<(NodeId, NodeId, M)>,
     flat: &mut Vec<(NodeId, M)>,
     offsets: &mut [u32],

@@ -135,6 +135,35 @@ pub fn build_sequential(g: &Graph, params: &BaswanaSenParams, seed: u64) -> Span
     Spanner::from_edges(edges)
 }
 
+/// Re-clusters only the subgraph induced by `region` (strictly ascending
+/// node ids): runs [`build_sequential`] on `g[region]` and returns the
+/// chosen edges as a host-graph [`EdgeSet`] — the Baswana–Sen flavor of
+/// the dirty-region hook used by the log-structured update path's
+/// compaction (`spanner-store`), where only the locality an edit batch
+/// touched is rebuilt.
+///
+/// With `region` = all nodes this equals `build_sequential(g, params,
+/// seed).edges` exactly (monotone relabeling preserves edge ids), which
+/// the differential tests pin.
+///
+/// # Panics
+///
+/// Panics if `region` is not strictly ascending or out of range.
+pub fn recluster_region(
+    g: &Graph,
+    region: &[NodeId],
+    params: &BaswanaSenParams,
+    seed: u64,
+) -> EdgeSet {
+    let (sub, host) = g.induced_subgraph(region);
+    let local = build_sequential(&sub, params, seed);
+    let mut out = EdgeSet::new(g);
+    for e in local.edges.iter() {
+        out.insert(host[e.index()]);
+    }
+    out
+}
+
 /// Message of the distributed protocol: the sender's cluster center this
 /// iteration (`None` when unclustered). Two words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -499,6 +528,36 @@ mod tests {
         let csr_built = build_distributed_csr(&csr, &params, 5).unwrap();
         assert_eq!(graph_built.edges, csr_built.edges);
         assert_eq!(graph_built.metrics, csr_built.metrics);
+    }
+
+    #[test]
+    fn recluster_full_region_matches_build_sequential() {
+        let params = BaswanaSenParams::new(3).unwrap();
+        let g = generators::connected_gnm(250, 1_200, 23);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(
+            recluster_region(&g, &all, &params, 9),
+            build_sequential(&g, &params, 9).edges
+        );
+    }
+
+    #[test]
+    fn recluster_subregion_is_local_spanner() {
+        let params = BaswanaSenParams::new(2).unwrap();
+        let g = generators::connected_gnm(180, 800, 31);
+        let region: Vec<NodeId> = g.nodes().filter(|v| v.0 < 120).collect();
+        let chosen = recluster_region(&g, &region, &params, 3);
+        let (sub, host) = g.induced_subgraph(&region);
+        let mut local = EdgeSet::new(&sub);
+        for (i, e) in host.iter().enumerate() {
+            if chosen.contains(*e) {
+                local.insert(EdgeId(i as u32));
+            }
+        }
+        let s = Spanner::from_edges(local);
+        assert!(s.is_spanning(&sub));
+        let r = s.stretch_exact(&sub);
+        assert!(r.satisfies_multiplicative(params.stretch() as f64));
     }
 
     #[test]

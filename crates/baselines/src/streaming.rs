@@ -14,10 +14,21 @@
 //! per-edge cost is a BFS bounded to depth 2k−1 in the sparse kept
 //! subgraph — the same space profile, which is what the model constrains.
 //! Documented as a substitution in DESIGN.md §4.)
+//!
+//! [`DynamicSpanner`] extends the same filter to the *fully dynamic*
+//! model (insertions **and** deletions), the scenario behind the
+//! log-structured update path of `spanner-store`. It maintains the
+//! edge-cover invariant — every current graph edge `{u, v}` satisfies
+//! δ_S(u, v) ≤ 2k−1 in the maintained subgraph S — which is exactly the
+//! (2k−1)-spanner property. Insertion is the streaming filter; deleting a
+//! spanner edge repairs the invariant by re-checking every graph edge
+//! with an endpoint in the ball of radius 2k−1 around the removed edge
+//! (computed *before* removal — any cover path through the removed edge
+//! starts inside that ball, so nothing outside it can break).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
-use spanner_graph::{LinkedAdjacency, NodeId};
+use spanner_graph::{EdgeSet, Graph, LinkedAdjacency, NodeId};
 
 /// An online (2k−1)-spanner over an edge stream on a fixed vertex set.
 ///
@@ -189,6 +200,434 @@ impl StreamingSpanner {
     }
 }
 
+/// Statistics of one [`DynamicSpanner::compact`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Dirty nodes re-clustered.
+    pub region: usize,
+    /// Nodes in the repair ball around the region.
+    pub ball: usize,
+    /// Spanner edges dropped (both endpoints dirty) before re-clustering.
+    pub removed: usize,
+    /// Edges chosen by the re-clustering hook and installed.
+    pub reclustered: usize,
+    /// Edges re-added by the invariant fixup pass over the ball.
+    pub refilled: usize,
+}
+
+/// A fully dynamic (2k−1)-spanner over a fixed vertex set: edge
+/// insertions *and* deletions, with periodic compaction that re-clusters
+/// only the dirty region through the repo's construction hooks
+/// (`skeleton::recluster_region` / `baswana_sen::recluster_region`).
+///
+/// The maintained invariant is the edge cover: every current graph edge
+/// `{u, v}` has δ_S(u, v) ≤ 2k−1 inside the maintained subgraph S —
+/// equivalent to S being a (2k−1)-spanner. The spanner is always a
+/// subgraph of the current graph (deleting a graph edge deletes it from
+/// S too, then repairs the cover).
+///
+/// # Example
+///
+/// ```
+/// use spanner_baselines::streaming::DynamicSpanner;
+/// use spanner_graph::NodeId;
+///
+/// let mut s = DynamicSpanner::new(4, 2);
+/// for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+///     s.insert(NodeId(u), NodeId(v));
+/// }
+/// // The 4-cycle closes within stretch 3: one edge stays graph-only.
+/// assert_eq!(s.graph_len(), 4);
+/// assert_eq!(s.spanner_len(), 3);
+/// // Deleting a spanner edge re-promotes the bypass to repair the cover.
+/// let (a, b) = s.spanner_edges().next().unwrap();
+/// s.delete(a, b);
+/// assert_eq!(s.spanner_len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicSpanner {
+    k: u32,
+    /// Current graph edges, canonical `(min, max)` pairs.
+    graph: BTreeSet<(u32, u32)>,
+    /// Maintained spanner edges — always a subset of `graph`.
+    spanner: BTreeSet<(u32, u32)>,
+    /// Graph adjacency (for enumerating edges incident to a repair ball).
+    gadj: LinkedAdjacency,
+    /// Spanner adjacency (for the bounded-distance cover checks).
+    sadj: LinkedAdjacency,
+    /// Nodes touched by edits since the last compaction.
+    dirty: BTreeSet<u32>,
+    // Timestamped BFS scratch, same discipline as [`StreamingSpanner`].
+    mark: Vec<u32>,
+    fmark: Vec<u32>,
+    fdist: Vec<u32>,
+    epoch: u32,
+}
+
+impl DynamicSpanner {
+    /// An empty dynamic spanner over `n` vertices with stretch 2k−1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(n: usize, k: u32) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        DynamicSpanner {
+            k,
+            graph: BTreeSet::new(),
+            spanner: BTreeSet::new(),
+            gadj: LinkedAdjacency::new(n),
+            sadj: LinkedAdjacency::new(n),
+            dirty: BTreeSet::new(),
+            mark: vec![0; n],
+            fmark: vec![0; n],
+            fdist: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Rebuilds a dynamic spanner from persisted state: the current graph
+    /// edges and the maintained spanner edges (canonical or not — pairs
+    /// are normalized). The spanner property itself is **not** re-derived
+    /// here (the differential tests own that); only structural sanity is.
+    ///
+    /// # Errors
+    ///
+    /// A message if a pair is a self-loop, out of range, duplicated, or a
+    /// spanner edge is not a graph edge.
+    pub fn from_state<I, J>(n: usize, k: u32, graph: I, spanner: J) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+        J: IntoIterator<Item = (u32, u32)>,
+    {
+        assert!(k >= 1, "k must be at least 1");
+        let mut s = DynamicSpanner::new(n, k);
+        for (u, v) in graph {
+            let key = Self::key_checked(n, u, v)?;
+            if !s.graph.insert(key) {
+                return Err(format!("duplicate graph edge {u}-{v}"));
+            }
+            s.gadj.add_edge(NodeId(key.0), NodeId(key.1));
+        }
+        for (u, v) in spanner {
+            let key = Self::key_checked(n, u, v)?;
+            if !s.graph.contains(&key) {
+                return Err(format!("spanner edge {u}-{v} is not a graph edge"));
+            }
+            if !s.spanner.insert(key) {
+                return Err(format!("duplicate spanner edge {u}-{v}"));
+            }
+            s.sadj.add_edge(NodeId(key.0), NodeId(key.1));
+        }
+        Ok(s)
+    }
+
+    fn key_checked(n: usize, u: u32, v: u32) -> Result<(u32, u32), String> {
+        if u == v {
+            return Err(format!("self-loop {u}-{v}"));
+        }
+        if u as usize >= n || v as usize >= n {
+            return Err(format!("edge {u}-{v} out of range for n = {n}"));
+        }
+        Ok((u.min(v), u.max(v)))
+    }
+
+    /// The stretch guarantee 2k−1.
+    pub fn stretch(&self) -> u32 {
+        2 * self.k - 1
+    }
+
+    /// The clustering parameter k.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.mark.len()
+    }
+
+    /// Number of current graph edges.
+    pub fn graph_len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Number of maintained spanner edges.
+    pub fn spanner_len(&self) -> usize {
+        self.spanner.len()
+    }
+
+    /// Whether `{u, v}` is a current graph edge.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.graph.contains(&(u.0.min(v.0), u.0.max(v.0)))
+    }
+
+    /// Whether `{u, v}` is a maintained spanner edge.
+    pub fn spanner_contains(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.spanner.contains(&(u.0.min(v.0), u.0.max(v.0)))
+    }
+
+    /// Current graph edges in canonical sorted order.
+    pub fn graph_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.graph.iter().map(|&(u, v)| (NodeId(u), NodeId(v)))
+    }
+
+    /// Maintained spanner edges in canonical sorted order.
+    pub fn spanner_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.spanner.iter().map(|&(u, v)| (NodeId(u), NodeId(v)))
+    }
+
+    /// Nodes dirtied by edits since the last [`DynamicSpanner::compact`].
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Materializes the current graph. Edge ids follow the canonical
+    /// lexicographic order of [`Graph::from_edges`].
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_sorted_edges(self.node_count(), self.graph.iter().copied())
+    }
+
+    /// The maintained spanner as an [`EdgeSet`] over `g`, which must be
+    /// [`DynamicSpanner::to_graph`] of the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spanner edge is missing from `g`.
+    pub fn spanner_edge_set(&self, g: &Graph) -> EdgeSet {
+        let mut set = EdgeSet::new(g);
+        for &(u, v) in &self.spanner {
+            let e = g
+                .find_edge(NodeId(u), NodeId(v))
+                .expect("spanner edge must be a graph edge");
+            set.insert(e);
+        }
+        set
+    }
+
+    /// Inserts the graph edge `{u, v}`; returns whether the graph changed
+    /// (false for self-loops and duplicates). The edge joins the spanner
+    /// iff the current spanner distance between its endpoints exceeds
+    /// 2k−1 — the invariant for every other edge is untouched, since
+    /// adding edges never increases spanner distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(
+            u.index() < self.node_count() && v.index() < self.node_count(),
+            "endpoint out of range"
+        );
+        if u == v {
+            return false;
+        }
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        if !self.graph.insert(key) {
+            return false;
+        }
+        self.gadj.add_edge(u, v);
+        self.dirty.extend([key.0, key.1]);
+        if !self.distance_at_most(u, v, self.stretch()) {
+            self.spanner.insert(key);
+            self.sadj.add_edge(u, v);
+        }
+        true
+    }
+
+    /// Deletes the graph edge `{u, v}`; returns whether the graph changed.
+    ///
+    /// A graph-only edge just disappears. Deleting a *spanner* edge
+    /// additionally repairs the cover invariant: the ball of radius 2k−1
+    /// around `u` in S is computed **before** the removal (any cover path
+    /// through `{u, v}` starts at a node of that ball), the edge is
+    /// dropped, and every remaining graph edge with an endpoint in the
+    /// ball is re-checked — re-entering S when its endpoints drifted
+    /// beyond 2k−1 apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn delete(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(
+            u.index() < self.node_count() && v.index() < self.node_count(),
+            "endpoint out of range"
+        );
+        if u == v {
+            return false;
+        }
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        if !self.graph.remove(&key) {
+            return false;
+        }
+        self.gadj.remove_edge(u, v);
+        self.dirty.extend([key.0, key.1]);
+        if self.spanner.remove(&key) {
+            let ball = self.spanner_ball(&[u], self.stretch());
+            self.sadj.remove_edge(u, v);
+            self.refill(&ball);
+        }
+        true
+    }
+
+    /// Compacts the accumulated edits: re-clusters the dirty region
+    /// through `recluster` (a hook like
+    /// `baswana_sen::recluster_region(g, region, ...)` partially applied),
+    /// replacing every spanner edge internal to the region with the
+    /// hook's choice, then restores the cover invariant with one fixup
+    /// pass over the graph edges incident to the region's pre-removal
+    /// ball. Clears the dirty set.
+    ///
+    /// The hook receives the materialized current graph and the sorted
+    /// dirty region, and must return a subset of the graph's edges
+    /// spanning the induced subgraph within stretch 2k−1 (both
+    /// `recluster_region` hooks guarantee this).
+    pub fn compact<F>(&mut self, recluster: F) -> CompactStats
+    where
+        F: FnOnce(&Graph, &[NodeId]) -> EdgeSet,
+    {
+        if self.dirty.is_empty() {
+            return CompactStats::default();
+        }
+        let region: Vec<NodeId> = self.dirty.iter().map(|&v| NodeId(v)).collect();
+        // Pre-removal ball: every cover path through a region-internal
+        // spanner edge starts within distance 2k−1 of the region.
+        let ball = self.spanner_ball(&region, self.stretch());
+        let g = self.to_graph();
+        let chosen = recluster(&g, &region);
+        let doomed: Vec<(u32, u32)> = self
+            .spanner
+            .iter()
+            .copied()
+            .filter(|&(a, b)| self.dirty.contains(&a) && self.dirty.contains(&b))
+            .collect();
+        for &(a, b) in &doomed {
+            self.spanner.remove(&(a, b));
+            self.sadj.remove_edge(NodeId(a), NodeId(b));
+        }
+        let mut reclustered = 0usize;
+        for e in chosen.iter() {
+            let (a, b) = g.endpoints(e);
+            let key = (a.0.min(b.0), a.0.max(b.0));
+            debug_assert!(self.graph.contains(&key), "hook chose a non-graph edge");
+            if self.spanner.insert(key) {
+                self.sadj.add_edge(a, b);
+                reclustered += 1;
+            }
+        }
+        let refilled = self.refill(&ball);
+        let stats = CompactStats {
+            region: region.len(),
+            ball: ball.len(),
+            removed: doomed.len(),
+            reclustered,
+            refilled,
+        };
+        self.dirty.clear();
+        stats
+    }
+
+    /// Re-checks every graph edge with an endpoint in `ball` against the
+    /// current spanner, adding the ones whose cover broke. Candidates are
+    /// visited in canonical sorted order so the result is deterministic.
+    /// Returns the number of edges added.
+    fn refill(&mut self, ball: &[NodeId]) -> usize {
+        let mut candidates: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &x in ball {
+            for y in self.gadj.neighbors(x) {
+                candidates.insert((x.0.min(y.0), x.0.max(y.0)));
+            }
+        }
+        let mut added = 0usize;
+        for (a, b) in candidates {
+            if self.spanner.contains(&(a, b)) {
+                continue;
+            }
+            let (u, v) = (NodeId(a), NodeId(b));
+            if !self.distance_at_most(u, v, self.stretch()) {
+                self.spanner.insert((a, b));
+                self.sadj.add_edge(u, v);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Multi-source bounded BFS in the spanner: all nodes within `radius`
+    /// of `sources`, ascending.
+    fn spanner_ball(&mut self, sources: &[NodeId], radius: u32) -> Vec<NodeId> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut queue = VecDeque::new();
+        for &s in sources {
+            if self.mark[s.index()] != epoch {
+                self.mark[s.index()] = epoch;
+                queue.push_back((s, 0u32));
+            }
+        }
+        let mut ball: Vec<NodeId> = Vec::new();
+        while let Some((x, d)) = queue.pop_front() {
+            ball.push(x);
+            if d == radius {
+                continue;
+            }
+            for y in self.sadj.neighbors(x) {
+                if self.mark[y.index()] != epoch {
+                    self.mark[y.index()] = epoch;
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        ball.sort_unstable();
+        ball
+    }
+
+    /// Bidirectional bounded BFS in the spanner: is δ_S(u, v) ≤ `limit`?
+    /// Same meet-in-the-middle scheme as
+    /// [`StreamingSpanner::distance_at_most`].
+    fn distance_at_most(&mut self, u: NodeId, v: NodeId, limit: u32) -> bool {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let forward_radius = limit.div_ceil(2);
+        self.fmark[u.index()] = epoch;
+        self.fdist[u.index()] = 0;
+        let mut queue = VecDeque::from([(u, 0u32)]);
+        while let Some((x, d)) = queue.pop_front() {
+            if x == v {
+                return true;
+            }
+            if d == forward_radius {
+                continue;
+            }
+            for y in self.sadj.neighbors(x) {
+                if self.fmark[y.index()] != epoch {
+                    self.fmark[y.index()] = epoch;
+                    self.fdist[y.index()] = d + 1;
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        let backward_radius = limit - forward_radius;
+        self.mark[v.index()] = epoch;
+        let mut queue = VecDeque::from([(v, 0u32)]);
+        while let Some((x, d)) = queue.pop_front() {
+            if self.fmark[x.index()] == epoch && self.fdist[x.index()] + d <= limit {
+                return true;
+            }
+            if d == backward_radius {
+                continue;
+            }
+            for y in self.sadj.neighbors(x) {
+                if self.mark[y.index()] != epoch {
+                    self.mark[y.index()] = epoch;
+                    queue.push_back((y, d + 1));
+                }
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +748,145 @@ mod tests {
         assert!(!s.offer(NodeId(1), NodeId(0)));
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
+    }
+
+    /// Asserts the cover invariant of `s` directly: the spanner is a
+    /// subgraph of the graph and every graph edge's endpoints are within
+    /// stretch in the spanner (checked by exact verification).
+    fn assert_dynamic_invariant(s: &DynamicSpanner) {
+        let g = s.to_graph();
+        let set = s.spanner_edge_set(&g);
+        let spanner = Spanner::from_edges(set);
+        let r = spanner.stretch_exact(&g);
+        assert!(
+            r.satisfies_multiplicative(s.stretch() as f64),
+            "cover invariant broken: stretch {} > {}",
+            r.max_multiplicative,
+            s.stretch()
+        );
+    }
+
+    #[test]
+    fn dynamic_insert_matches_streaming_filter() {
+        // With insert-only traffic the dynamic spanner IS the streaming
+        // filter: same kept set for the same arrival order.
+        let g = generators::connected_gnm(80, 400, 13);
+        let mut stream = StreamingSpanner::new(80, 2);
+        let mut dynamic = DynamicSpanner::new(80, 2);
+        for (_, u, v) in g.edges() {
+            let kept = stream.offer(u, v);
+            dynamic.insert(u, v);
+            assert_eq!(kept, dynamic.spanner_contains(u, v), "edge {u}-{v}");
+        }
+        assert_eq!(dynamic.spanner_len(), stream.len());
+        assert_eq!(dynamic.graph_len(), g.edge_count());
+    }
+
+    #[test]
+    fn dynamic_delete_repairs_cover() {
+        use rand::{Rng, SeedableRng};
+        let g = generators::connected_gnm(60, 240, 21);
+        let mut s = DynamicSpanner::new(60, 2);
+        for (_, u, v) in g.edges() {
+            s.insert(u, v);
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut live: Vec<(NodeId, NodeId)> = s.graph_edges().collect();
+        for _ in 0..120 {
+            let i = rng.gen_range(0..live.len());
+            let (u, v) = live.swap_remove(i);
+            assert!(s.delete(u, v));
+            assert!(!s.contains(u, v));
+            assert!(!s.spanner_contains(u, v));
+        }
+        assert_eq!(s.graph_len(), g.edge_count() - 120);
+        assert_dynamic_invariant(&s);
+    }
+
+    #[test]
+    fn dynamic_compact_preserves_cover() {
+        use rand::{Rng, SeedableRng};
+        // Re-cluster through the real Baswana–Sen hook mid-stream. The
+        // closure captures nothing, so it is `Copy` and reusable.
+        let hook = |g: &Graph, region: &[NodeId]| {
+            let params = crate::baswana_sen::BaswanaSenParams::new(2).unwrap();
+            crate::baswana_sen::recluster_region(g, region, &params, 11)
+        };
+        let g = generators::connected_gnm(70, 300, 9);
+        let mut s = DynamicSpanner::new(70, 2);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        for (i, (_, u, v)) in g.edges().enumerate() {
+            s.insert(u, v);
+            if i % 40 == 39 {
+                // Also delete something to dirty more of the region.
+                let (du, dv) = s
+                    .graph_edges()
+                    .nth(rng.gen_range(0..s.graph_len()))
+                    .unwrap();
+                s.delete(du, dv);
+                assert!(s.dirty_len() > 0);
+                let stats = s.compact(hook);
+                assert!(stats.region > 0);
+                assert_eq!(s.dirty_len(), 0);
+                assert_dynamic_invariant(&s);
+            }
+        }
+        assert_dynamic_invariant(&s);
+        // Drain the tail edits, then compacting with nothing dirty is a
+        // no-op.
+        s.compact(hook);
+        assert_eq!(s.dirty_len(), 0);
+        let stats = s.compact(hook);
+        assert_eq!(stats, CompactStats::default());
+        assert_dynamic_invariant(&s);
+    }
+
+    #[test]
+    fn dynamic_from_state_round_trips_and_validates() {
+        let g = generators::connected_gnm(40, 150, 2);
+        let mut s = DynamicSpanner::new(40, 3);
+        for (_, u, v) in g.edges() {
+            s.insert(u, v);
+        }
+        let graph: Vec<(u32, u32)> = s.graph_edges().map(|(u, v)| (u.0, v.0)).collect();
+        let spanner: Vec<(u32, u32)> = s.spanner_edges().map(|(u, v)| (u.0, v.0)).collect();
+        let back =
+            DynamicSpanner::from_state(40, 3, graph.iter().copied(), spanner.iter().copied())
+                .unwrap();
+        assert_eq!(
+            back.graph_edges().collect::<Vec<_>>(),
+            s.graph_edges().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            back.spanner_edges().collect::<Vec<_>>(),
+            s.spanner_edges().collect::<Vec<_>>()
+        );
+        // Structural validation failures are typed messages, not panics.
+        assert!(DynamicSpanner::from_state(40, 3, [(1, 1)], []).is_err());
+        assert!(DynamicSpanner::from_state(40, 3, [(0, 99)], []).is_err());
+        assert!(DynamicSpanner::from_state(40, 3, [(0, 1), (1, 0)], []).is_err());
+        assert!(DynamicSpanner::from_state(40, 3, [(0, 1)], [(0, 2)]).is_err());
+        assert!(DynamicSpanner::from_state(40, 3, [(0, 1)], [(0, 1), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn dynamic_delete_to_disconnection() {
+        // Deleting a bridge disconnects the graph; the exempt pair stays
+        // exempt and the spanner tracks the surviving components.
+        let mut s = DynamicSpanner::new(6, 2);
+        for (u, v) in [(0u32, 1), (1, 2), (3, 4), (4, 5), (2, 3)] {
+            s.insert(NodeId(u), NodeId(v));
+        }
+        assert!(s.delete(NodeId(2), NodeId(3)));
+        assert_eq!(s.graph_len(), 4);
+        assert_dynamic_invariant(&s);
+        // Delete everything: empty graph, empty spanner.
+        let live: Vec<(NodeId, NodeId)> = s.graph_edges().collect();
+        for (u, v) in live {
+            assert!(s.delete(u, v));
+        }
+        assert_eq!(s.graph_len(), 0);
+        assert_eq!(s.spanner_len(), 0);
+        assert_dynamic_invariant(&s);
     }
 }

@@ -53,6 +53,86 @@ impl fmt::Display for CsrSizeError {
 
 impl std::error::Error for CsrSizeError {}
 
+/// A flat-array pair that is not a valid [`CsrAdjacency`].
+///
+/// Returned by [`CsrAdjacency::try_from_parts`], the decode half of the
+/// snapshot round-trip: a persisted adjacency is rebuilt from raw
+/// `(offsets, targets)` arrays, and every structural invariant the rest of
+/// the codebase assumes (sorted runs, symmetry, no loops) is re-validated
+/// so a corrupted or hand-crafted file can never produce a silently wrong
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrPartsError {
+    /// `offsets` is empty or does not start at 0.
+    BadOffsetHead,
+    /// `offsets` is not monotone non-decreasing at the given node.
+    NonMonotoneOffsets {
+        /// The node whose offset decreases.
+        node: u32,
+    },
+    /// The final offset does not equal `targets.len()`.
+    LengthMismatch {
+        /// The final offset.
+        last: u32,
+        /// The actual target-array length.
+        targets: usize,
+    },
+    /// A neighbor id is out of the node range.
+    TargetOutOfRange {
+        /// The node whose run contains the bad target.
+        node: u32,
+    },
+    /// A neighbor run is not strictly ascending (unsorted or duplicate).
+    UnsortedRun {
+        /// The node whose run is out of order.
+        node: u32,
+    },
+    /// A node lists itself as a neighbor.
+    SelfLoop {
+        /// The offending node.
+        node: u32,
+    },
+    /// Edge `{a, b}` appears in `a`'s run but not in `b`'s.
+    Asymmetric {
+        /// The endpoint whose run has the half-edge.
+        from: u32,
+        /// The endpoint whose run is missing the reverse half-edge.
+        to: u32,
+    },
+}
+
+impl fmt::Display for CsrPartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrPartsError::BadOffsetHead => {
+                write!(f, "CSR offsets must be non-empty and start at 0")
+            }
+            CsrPartsError::NonMonotoneOffsets { node } => {
+                write!(f, "CSR offsets decrease at node {node}")
+            }
+            CsrPartsError::LengthMismatch { last, targets } => write!(
+                f,
+                "CSR final offset {last} does not match target count {targets}"
+            ),
+            CsrPartsError::TargetOutOfRange { node } => {
+                write!(f, "CSR run of node {node} has an out-of-range neighbor")
+            }
+            CsrPartsError::UnsortedRun { node } => write!(
+                f,
+                "CSR run of node {node} is not strictly ascending (unsorted or duplicate)"
+            ),
+            CsrPartsError::SelfLoop { node } => {
+                write!(f, "CSR run of node {node} contains a self-loop")
+            }
+            CsrPartsError::Asymmetric { from, to } => {
+                write!(f, "CSR edge {from}-{to} is missing its reverse half-edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrPartsError {}
+
 /// Sorted neighbor lists in compressed sparse row layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrAdjacency {
@@ -236,6 +316,72 @@ impl CsrAdjacency {
         }
         targets.truncate(write);
         Ok(CsrAdjacency { offsets, targets })
+    }
+
+    /// The raw flat arrays `(offsets, targets)` — the encode half of the
+    /// snapshot round-trip. [`CsrAdjacency::try_from_parts`] inverts this
+    /// exactly: `try_from_parts` of `parts()` is always `Ok` and equal.
+    #[inline]
+    pub fn parts(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Rebuilds an adjacency from raw `(offsets, targets)` arrays,
+    /// re-validating every structural invariant: offsets start at 0 and
+    /// are monotone with `offsets.last() == targets.len()`, every run is
+    /// strictly ascending, in node range, loop-free, and every half-edge
+    /// has its reverse. O(n + m log Δ) — the symmetry check binary
+    /// searches the reverse run.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant as a [`CsrPartsError`]; a decoded
+    /// snapshot can therefore never yield a structurally invalid graph.
+    pub fn try_from_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Result<Self, CsrPartsError> {
+        if offsets.first() != Some(&0) {
+            return Err(CsrPartsError::BadOffsetHead);
+        }
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            if offsets[v + 1] < offsets[v] {
+                return Err(CsrPartsError::NonMonotoneOffsets { node: v as u32 });
+            }
+        }
+        let last = offsets[n];
+        if last as usize != targets.len() {
+            return Err(CsrPartsError::LengthMismatch {
+                last,
+                targets: targets.len(),
+            });
+        }
+        let csr = CsrAdjacency { offsets, targets };
+        // Pass 1: every run is in range, loop-free, strictly ascending.
+        for v in 0..n {
+            let v32 = v as u32;
+            let run = csr.neighbors(NodeId(v32));
+            for (i, &w) in run.iter().enumerate() {
+                if w.index() >= n {
+                    return Err(CsrPartsError::TargetOutOfRange { node: v32 });
+                }
+                if w.0 == v32 {
+                    return Err(CsrPartsError::SelfLoop { node: v32 });
+                }
+                if i > 0 && run[i - 1] >= w {
+                    return Err(CsrPartsError::UnsortedRun { node: v32 });
+                }
+            }
+        }
+        // Pass 2: every half-edge has its reverse (runs are now known
+        // sorted, so the reverse lookup can binary search).
+        for v in 0..n {
+            let v32 = v as u32;
+            for &w in csr.neighbors(NodeId(v32)) {
+                if csr.neighbors(w).binary_search(&NodeId(v32)).is_err() {
+                    return Err(CsrPartsError::Asymmetric { from: v32, to: w.0 });
+                }
+            }
+        }
+        Ok(csr)
     }
 
     /// Number of nodes.
@@ -437,6 +583,13 @@ impl CsrEdgeIndex {
 ///
 /// Neighbors iterate in reverse insertion order; callers must be
 /// order-insensitive (bounded-distance predicates are).
+///
+/// Edges can also be *removed* ([`LinkedAdjacency::remove_edge`]): the
+/// half-edge pair is unlinked from both chains in O(degree). Arena slots
+/// of removed edges are not reclaimed (the arena only grows), which keeps
+/// every live slot index stable — the right trade for the dynamic-spanner
+/// workload, where the live set stays near the girth bound while the
+/// edit stream may be much longer.
 #[derive(Debug, Clone)]
 pub struct LinkedAdjacency {
     /// Per node: arena index of its most recent half-edge, or `NO_EDGE`.
@@ -445,6 +598,8 @@ pub struct LinkedAdjacency {
     next: Vec<u32>,
     /// Per half-edge: the neighbor it points at.
     dst: Vec<NodeId>,
+    /// Half-edges currently linked (arena slots minus removed ones).
+    live_half: usize,
 }
 
 const NO_EDGE: u32 = u32::MAX;
@@ -456,6 +611,7 @@ impl LinkedAdjacency {
             head: vec![NO_EDGE; n],
             next: Vec::new(),
             dst: Vec::new(),
+            live_half: 0,
         }
     }
 
@@ -465,10 +621,10 @@ impl LinkedAdjacency {
         self.head.len()
     }
 
-    /// Number of undirected edges added so far.
+    /// Number of undirected edges currently present (added minus removed).
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.dst.len() / 2
+        self.live_half / 2
     }
 
     /// Appends the undirected edge `{u, v}`. O(1). No dedup: offering the
@@ -489,6 +645,45 @@ impl LinkedAdjacency {
             self.dst.push(b);
             self.head[a.index()] = slot;
         }
+        self.live_half += 2;
+    }
+
+    /// Removes one copy of the undirected edge `{u, v}` if present;
+    /// returns whether an edge was removed. O(degree(u) + degree(v)).
+    /// When the pair was added more than once (no dedup on insert), the
+    /// most recently added copy is the one unlinked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.unlink_half(u, v) {
+            return false;
+        }
+        let reverse = self.unlink_half(v, u);
+        debug_assert!(reverse, "half-edge pair out of sync");
+        self.live_half -= 2;
+        true
+    }
+
+    /// Unlinks the first chain entry of `a` pointing at `b`, if any.
+    fn unlink_half(&mut self, a: NodeId, b: NodeId) -> bool {
+        let mut at = self.head[a.index()];
+        let mut prev = NO_EDGE;
+        while at != NO_EDGE {
+            if self.dst[at as usize] == b {
+                let tail = self.next[at as usize];
+                if prev == NO_EDGE {
+                    self.head[a.index()] = tail;
+                } else {
+                    self.next[prev as usize] = tail;
+                }
+                return true;
+            }
+            prev = at;
+            at = self.next[at as usize];
+        }
+        false
     }
 
     /// The neighbors of `v`, most recently added first.
@@ -682,6 +877,142 @@ mod tests {
     #[should_panic(expected = "exceeds the u32 node-id space")]
     fn from_edges_panics_with_actionable_message() {
         let _ = CsrAdjacency::from_edges(1usize << 33, std::iter::empty());
+    }
+
+    #[test]
+    fn parts_round_trip_is_lossless() {
+        for (g, name) in [
+            (generators::erdos_renyi_gnm(60, 180, 5), "er"),
+            (Graph::empty(4), "isolated"),
+            (Graph::empty(0), "empty"),
+        ] {
+            let csr = CsrAdjacency::from_graph(&g);
+            let (offsets, targets) = csr.parts();
+            let back =
+                CsrAdjacency::try_from_parts(offsets.to_vec(), targets.to_vec()).expect(name);
+            assert_eq!(back, csr, "{name}");
+        }
+    }
+
+    #[test]
+    fn try_from_parts_rejects_each_invariant_violation() {
+        let good = CsrAdjacency::from_graph(&Graph::from_edges(3, [(0, 1), (1, 2)]));
+        let (o, t) = good.parts();
+        let (o, t) = (o.to_vec(), t.to_vec());
+        let cases: Vec<(Vec<u32>, Vec<NodeId>, CsrPartsError)> = vec![
+            (vec![], vec![], CsrPartsError::BadOffsetHead),
+            (vec![1, 2], vec![NodeId(0)], CsrPartsError::BadOffsetHead),
+            (
+                vec![0, 2, 1, 4],
+                t.clone(),
+                CsrPartsError::NonMonotoneOffsets { node: 1 },
+            ),
+            (
+                vec![0, 1, 3, 5],
+                t.clone(),
+                CsrPartsError::LengthMismatch {
+                    last: 5,
+                    targets: 4,
+                },
+            ),
+            (
+                o.clone(),
+                vec![NodeId(1), NodeId(9), NodeId(2), NodeId(1)],
+                CsrPartsError::TargetOutOfRange { node: 1 },
+            ),
+            (
+                o.clone(),
+                vec![NodeId(1), NodeId(2), NodeId(0), NodeId(1)],
+                CsrPartsError::UnsortedRun { node: 1 },
+            ),
+            (
+                o.clone(),
+                vec![NodeId(1), NodeId(1), NodeId(2), NodeId(1)],
+                CsrPartsError::SelfLoop { node: 1 },
+            ),
+            (
+                o.clone(),
+                vec![NodeId(2), NodeId(0), NodeId(2), NodeId(1)],
+                CsrPartsError::Asymmetric { from: 0, to: 2 },
+            ),
+        ];
+        for (offsets, targets, want) in cases {
+            let got = CsrAdjacency::try_from_parts(offsets, targets).unwrap_err();
+            assert_eq!(got, want);
+            assert!(!got.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn linked_adjacency_remove_edge() {
+        let mut adj = LinkedAdjacency::new(5);
+        adj.add_edge(NodeId(0), NodeId(1));
+        adj.add_edge(NodeId(0), NodeId(2));
+        adj.add_edge(NodeId(0), NodeId(3));
+        assert_eq!(adj.edge_count(), 3);
+        // Remove from the middle of the chain.
+        assert!(adj.remove_edge(NodeId(2), NodeId(0)));
+        assert_eq!(adj.edge_count(), 2);
+        let mut nb: Vec<NodeId> = adj.neighbors(NodeId(0)).collect();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(adj.neighbors(NodeId(2)).count(), 0);
+        // Removing again fails; the rest is untouched.
+        assert!(!adj.remove_edge(NodeId(0), NodeId(2)));
+        assert!(!adj.remove_edge(NodeId(1), NodeId(3)));
+        assert_eq!(adj.edge_count(), 2);
+        // Remove the head entry, then the last, emptying the chain.
+        assert!(adj.remove_edge(NodeId(0), NodeId(3)));
+        assert!(adj.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(adj.edge_count(), 0);
+        assert_eq!(adj.neighbors(NodeId(0)).count(), 0);
+        // The arena is append-only: re-adding after removals still works.
+        adj.add_edge(NodeId(0), NodeId(4));
+        assert_eq!(
+            adj.neighbors(NodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn linked_adjacency_removal_matches_reference_sets() {
+        use rand::{Rng, SeedableRng};
+        let n = 30u32;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        let mut adj = LinkedAdjacency::new(n as usize);
+        let mut reference: std::collections::BTreeSet<(u32, u32)> = Default::default();
+        for _ in 0..600 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if rng.gen_bool(0.6) {
+                if reference.insert(key) {
+                    adj.add_edge(NodeId(u), NodeId(v));
+                }
+            } else if reference.remove(&key) {
+                assert!(adj.remove_edge(NodeId(u), NodeId(v)));
+            } else {
+                assert!(!adj.remove_edge(NodeId(u), NodeId(v)));
+            }
+            assert_eq!(adj.edge_count(), reference.len());
+        }
+        for v in 0..n {
+            let mut got: Vec<u32> = adj.neighbors(NodeId(v)).map(|w| w.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = reference
+                .iter()
+                .filter_map(|&(a, b)| match v {
+                    _ if a == v => Some(b),
+                    _ if b == v => Some(a),
+                    _ => None,
+                })
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "node {v}");
+        }
     }
 
     #[test]

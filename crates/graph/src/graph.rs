@@ -290,6 +290,44 @@ impl Graph {
         b.build()
     }
 
+    /// The subgraph induced by `nodes` (which must be strictly ascending),
+    /// with node `nodes[i]` relabeled to `i`, plus the map from each new
+    /// [`EdgeId`] back to the host edge it came from.
+    ///
+    /// The relabeling is monotone, so the induced graph's lexicographic
+    /// edge order equals the host order restricted to the region — new
+    /// edge ids enumerate the kept host edges in host-id order, which is
+    /// what lets dirty-region re-clustering translate a spanner of the
+    /// induced graph back into host edges with one array lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is not strictly ascending or contains an
+    /// out-of-range node.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<EdgeId>) {
+        assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "region must be strictly ascending"
+        );
+        if let Some(last) = nodes.last() {
+            assert!(last.index() < self.node_count(), "region node out of range");
+        }
+        let mut map = vec![u32::MAX; self.node_count()];
+        for (i, v) in nodes.iter().enumerate() {
+            map[v.index()] = i as u32;
+        }
+        let mut edges = Vec::new();
+        let mut host = Vec::new();
+        for (e, a, b) in self.edges() {
+            let (ma, mb) = (map[a.index()], map[b.index()]);
+            if ma != u32::MAX && mb != u32::MAX {
+                edges.push((ma, mb));
+                host.push(e);
+            }
+        }
+        (Graph::from_sorted_edges(nodes.len(), edges), host)
+    }
+
     /// Applies a permutation to node labels: node `v` becomes `perm[v]`.
     ///
     /// Used to randomize processor identifiers where the model calls for
@@ -452,6 +490,38 @@ mod tests {
         assert!(h.has_edge(NodeId(0), NodeId(1)));
         assert!(!h.has_edge(NodeId(1), NodeId(2)));
         assert!(h.has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn induced_subgraph_maps_edges_back() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 4), (1, 2), (2, 4), (3, 5), (4, 5)]);
+        let region = [NodeId(0), NodeId(2), NodeId(4), NodeId(5)];
+        let (sub, host) = g.induced_subgraph(&region);
+        assert_eq!(sub.node_count(), 4);
+        // Kept edges: (0,4), (2,4), (4,5) → relabeled (0,2), (1,2), (2,3).
+        let got: Vec<(u32, u32)> = sub.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        assert_eq!(got, vec![(0, 2), (1, 2), (2, 3)]);
+        assert_eq!(host.len(), sub.edge_count());
+        for (e, u, v) in sub.edges() {
+            let (hu, hv) = g.endpoints(host[e.index()]);
+            assert_eq!((hu, hv), (region[u.index()], region[v.index()]));
+        }
+        // Full region reproduces the graph with identical edge ids.
+        let all: Vec<NodeId> = g.nodes().collect();
+        let (full, host) = g.induced_subgraph(&all);
+        assert_eq!(full, g);
+        assert!(host.iter().enumerate().all(|(i, e)| e.index() == i));
+        // Empty region.
+        let (empty, host) = g.induced_subgraph(&[]);
+        assert_eq!(empty.node_count(), 0);
+        assert!(host.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn induced_subgraph_rejects_unsorted_region() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        g.induced_subgraph(&[NodeId(1), NodeId(0)]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod pool;
 pub mod traversal;
 pub mod weighted;
 
-pub use csr::{CsrAdjacency, CsrEdgeIndex, CsrSizeError, LinkedAdjacency};
+pub use csr::{CsrAdjacency, CsrEdgeIndex, CsrPartsError, CsrSizeError, LinkedAdjacency};
 pub use distance::{
     verify_stretch_exact, verify_stretch_exact_weighted, StretchBound, StretchViolation,
 };

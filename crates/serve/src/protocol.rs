@@ -32,6 +32,9 @@ pub enum Command {
     /// `LOAD <spec> [k=..] [seed=..] [routing=on|off]` — build the graph,
     /// oracle and (optionally) routing tables to serve from.
     Load(LoadRequest),
+    /// `SAVE <path>` — persist the loaded graph and its parameters as a
+    /// `spanner-store` snapshot directory at `path`.
+    Save(String),
     /// `FLUSH` — clear the result cache (counters are kept).
     Flush,
     /// `PING` — liveness check.
@@ -91,6 +94,13 @@ pub enum GraphSpec {
         /// Filesystem path of the edge list (no whitespace).
         path: String,
     },
+    /// `snapshot:<path>` — a `spanner-store` snapshot directory written
+    /// by `SAVE` (or any `Store::save`). The snapshot carries its own
+    /// `k`/`seed`/`routing`, so explicit LOAD options are rejected.
+    Snapshot {
+        /// Filesystem path of the snapshot directory (no whitespace).
+        path: String,
+    },
 }
 
 /// A protocol-level error, rendered on the wire as `ERR <CODE> <message>`.
@@ -143,6 +153,16 @@ impl WireError {
     pub fn bad_spec(message: impl Into<String>) -> Self {
         WireError {
             code: "BADSPEC",
+            message: message.into(),
+        }
+    }
+
+    /// `STORE` — a snapshot operation failed: `SAVE` could not write, or
+    /// a `snapshot:` LOAD found a missing, corrupt, or incompatible
+    /// snapshot. The message carries the store layer's typed diagnosis.
+    pub fn store(message: impl Into<String>) -> Self {
+        WireError {
+            code: "STORE",
             message: message.into(),
         }
     }
@@ -290,6 +310,10 @@ pub fn parse_command(line: &str) -> Result<Command, WireError> {
             Ok(Command::Quit)
         }
         "LOAD" => parse_load(&tokens),
+        "SAVE" => {
+            expect_arity(&tokens, 1, "SAVE")?;
+            Ok(Command::Save(tokens[1].to_string()))
+        }
         other => Err(WireError::parse(format!("unknown command {other}"))),
     }
 }
@@ -299,6 +323,11 @@ fn parse_load(tokens: &[&str]) -> Result<Command, WireError> {
         return Err(WireError::parse("LOAD expects a graph spec"));
     }
     let spec = parse_spec(tokens[1])?;
+    if matches!(spec, GraphSpec::Snapshot { .. }) && tokens.len() > 2 {
+        return Err(WireError::bad_spec(
+            "snapshot carries its own k/seed/routing; options are not allowed",
+        ));
+    }
     let mut req = LoadRequest {
         spec,
         k: 2,
@@ -350,6 +379,14 @@ pub fn parse_spec(tok: &str) -> Result<GraphSpec, WireError> {
             return Err(WireError::bad_spec("file spec has an empty path"));
         }
         return Ok(GraphSpec::File {
+            path: rest.to_string(),
+        });
+    }
+    if kind == "snapshot" {
+        if rest.is_empty() {
+            return Err(WireError::bad_spec("snapshot spec has an empty path"));
+        }
+        return Ok(GraphSpec::Snapshot {
             path: rest.to_string(),
         });
     }
@@ -552,6 +589,37 @@ mod tests {
                 .code(),
             "PARSE"
         );
+    }
+
+    #[test]
+    fn parses_save_and_snapshot_specs() {
+        assert_eq!(
+            parse_command("SAVE /tmp/snap").unwrap(),
+            Command::Save("/tmp/snap".to_string())
+        );
+        assert_eq!(parse_command("SAVE").unwrap_err().code(), "PARSE");
+        assert_eq!(parse_command("SAVE a b").unwrap_err().code(), "PARSE");
+        assert_eq!(
+            parse_command("LOAD snapshot:/tmp/snap").unwrap(),
+            Command::Load(LoadRequest {
+                spec: GraphSpec::Snapshot {
+                    path: "/tmp/snap".to_string()
+                },
+                k: 2,
+                seed: 1,
+                routing: false,
+            })
+        );
+        // The snapshot carries its own parameters: every explicit option
+        // is rejected, even redundant-looking ones.
+        for line in [
+            "LOAD snapshot:/tmp/snap k=2",
+            "LOAD snapshot:/tmp/snap seed=1",
+            "LOAD snapshot:/tmp/snap routing=on",
+        ] {
+            assert_eq!(parse_command(line).unwrap_err().code(), "BADSPEC", "{line}");
+        }
+        assert_eq!(parse_spec("snapshot:").unwrap_err().code(), "BADSPEC");
     }
 
     #[test]

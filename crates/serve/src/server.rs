@@ -21,14 +21,17 @@
 //! scheduling freedom is *when* pure values are computed — never what
 //! they are, and never the order cache/counter state evolves in.
 
+use std::collections::BTreeSet;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpListener;
+use std::path::Path;
 use std::sync::Mutex;
 
 use spanner_graph::distance::UNREACHABLE;
 use spanner_graph::pool::{chunk_range, run_workers};
-use spanner_graph::{generators, Graph, NodeId};
+use spanner_graph::{generators, CsrAdjacency, Graph, NodeId};
 use spanner_oracle::{DistanceOracle, RoutingScheme};
+use spanner_store::{Edit, SnapshotMeta, Store};
 
 use crate::cache::{pack_key, LruCache};
 use crate::protocol::{
@@ -98,6 +101,12 @@ struct Loaded {
     routing: Option<RoutingScheme>,
     nodes: usize,
     edges: usize,
+    /// The served graph, kept for `SAVE`: a snapshot persists the exact
+    /// edge set the oracle was built over.
+    graph: Graph,
+    /// The construction seed, persisted by `SAVE` so a later
+    /// `LOAD snapshot:` rebuilds the identical oracle.
+    seed: u64,
 }
 
 /// One query of a batch (or a singleton DIST/ROUTE), pre-parsed.
@@ -237,10 +246,22 @@ impl Server {
     /// tables when requested) over it, replacing any previous state. The
     /// result cache is cleared — its entries are meaningless for the new
     /// graph — but counters persist. Returns the `OK` response line.
+    ///
+    /// A `snapshot:` spec is the O(size) path: the graph (and the
+    /// parameters to rebuild the oracle with) come from the snapshot
+    /// directory instead of a generator, with any write-ahead-logged
+    /// edits folded in; the parser guarantees no explicit options
+    /// accompany it.
     pub fn load(&mut self, req: &LoadRequest) -> Result<String, WireError> {
-        let g = build_graph(&req.spec)?;
-        let oracle = DistanceOracle::build(&g, req.k, req.seed);
-        let routing = req.routing.then(|| RoutingScheme::build(&g, req.seed));
+        let (g, k, seed, routing_on) = match &req.spec {
+            GraphSpec::Snapshot { path } => {
+                let (g, meta) = load_snapshot(path)?;
+                (g, meta.k, meta.seed, meta.routing)
+            }
+            other => (build_graph(other)?, req.k, req.seed, req.routing),
+        };
+        let oracle = DistanceOracle::build(&g, k, seed);
+        let routing = routing_on.then(|| RoutingScheme::build(&g, seed));
         let (nodes, edges) = (g.node_count(), g.edge_count());
         let landmarks = match &routing {
             Some(r) => r.landmark_count().to_string(),
@@ -251,12 +272,35 @@ impl Server {
             routing,
             nodes,
             edges,
+            graph: g,
+            seed,
         });
         self.cache.clear();
         Ok(format!(
-            "OK n={nodes} m={edges} k={} landmarks={landmarks}",
-            req.k
+            "OK n={nodes} m={edges} k={k} landmarks={landmarks}"
         ))
+    }
+
+    /// Persists the loaded graph plus its construction parameters as a
+    /// snapshot directory at `path` (`LOAD snapshot:<path>` restores it).
+    /// Returns the `OK SAVED` response line.
+    pub fn save(&mut self, path: &str) -> Result<String, WireError> {
+        let Some(state) = &self.state else {
+            return Err(WireError::no_graph());
+        };
+        let g = &state.graph;
+        let edges: Vec<(u32, u32)> = g.edges().map(|(_, a, b)| (a.0, b.0)).collect();
+        let csr = CsrAdjacency::from_edges(g.node_count(), edges);
+        let meta = SnapshotMeta {
+            k: state.oracle.k(),
+            seed: state.seed,
+            routing: state.routing.is_some(),
+        };
+        // Serve snapshots carry an empty spanner section: the serving
+        // artifact is the oracle, rebuilt from (graph, k, seed) on load.
+        Store::save(Path::new(path), &csr, &[], meta)
+            .map_err(|e| WireError::store(e.to_string()))?;
+        Ok(format!("OK SAVED n={} m={}", state.nodes, state.edges))
     }
 
     /// Clears the result cache (counters are kept). Returns the `OK`
@@ -468,8 +512,40 @@ fn resolve(state: Option<&Loaded>, req: &QueryReq) -> Partial {
     part
 }
 
+/// Opens the snapshot at `path` and reconstructs the served graph: the
+/// persisted CSR edge set with every write-ahead-logged edit folded in.
+/// Any store-level failure — corruption, version skew, an inapplicable
+/// WAL record — surfaces as a `STORE` wire error.
+fn load_snapshot(path: &str) -> Result<(Graph, SnapshotMeta), WireError> {
+    let state = Store::open(Path::new(path)).map_err(|e| WireError::store(e.to_string()))?;
+    let n = state.csr.node_count();
+    let mut edges: BTreeSet<(u32, u32)> = state
+        .csr
+        .forward_edges()
+        .map(|(_, a, b)| (a.0, b.0))
+        .collect();
+    for (index, edit) in state.edits.iter().enumerate() {
+        let (u, v) = edit.endpoints();
+        let applied = match edit {
+            Edit::Insert(..) => (v as usize) < n && edges.insert((u, v)),
+            Edit::Delete(..) => edges.remove(&(u, v)),
+        };
+        if !applied {
+            return Err(WireError::store(format!(
+                "snapshot WAL record {index} ({u}-{v}) does not apply to the graph"
+            )));
+        }
+    }
+    // BTreeSet iterates in canonical ascending order, exactly what the
+    // sorted constructor wants.
+    Ok((Graph::from_sorted_edges(n, edges), state.meta))
+}
+
 fn build_graph(spec: &GraphSpec) -> Result<Graph, WireError> {
     match spec {
+        GraphSpec::Snapshot { .. } => {
+            unreachable!("snapshot specs take the load_snapshot path")
+        }
         GraphSpec::Er { n, m, seed } => {
             Ok(generators::connected_gnm(*n as usize, *m as usize, *seed))
         }
@@ -601,6 +677,10 @@ impl Session {
                 }
                 Ok(Command::Stats) => writeln!(output, "{}", self.server.stats_line())?,
                 Ok(Command::Load(req)) => match self.server.load(&req) {
+                    Ok(okline) => writeln!(output, "{okline}")?,
+                    Err(e) => writeln!(output, "{}", e.line())?,
+                },
+                Ok(Command::Save(path)) => match self.server.save(&path) {
                     Ok(okline) => writeln!(output, "{okline}")?,
                     Err(e) => writeln!(output, "{}", e.line())?,
                 },

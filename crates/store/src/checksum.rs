@@ -1,0 +1,96 @@
+//! Salted 64-bit content checksums, splitmix64-based.
+//!
+//! The same pure-hash discipline as the fault engine in
+//! `spanner-netsim::faults`: every protected byte range is hashed under a
+//! *salt* naming its role (manifest vs block vs WAL record) xor'd with
+//! its position (generation, block index, record index). A block copied
+//! to another slot, a WAL tail written twice, or a data file paired with
+//! the wrong manifest therefore fails verification even though every
+//! individual byte is "valid". Not cryptographic — the adversary is
+//! bit-rot and torn writes, not forgery.
+
+/// One step of the splitmix64 sequence: advances `state` and returns the
+/// next output. The standard constants.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salted checksum of `bytes`: the payload is folded in as little-endian
+/// 64-bit words (zero-padded tail) through the splitmix64 mixer, with the
+/// length folded in last so trailing zero bytes change the sum.
+pub fn checksum(salt: u64, bytes: &[u8]) -> u64 {
+    let mut state = salt ^ 0x5370_616E_5374_6F72; // "SpanStor"
+    let mut acc = splitmix64(&mut state);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        state ^= u64::from_le_bytes(word);
+        acc ^= splitmix64(&mut state);
+    }
+    state ^= bytes.len() as u64;
+    acc ^ splitmix64(&mut state)
+}
+
+/// Pure seed-salted index pick in `0..bound`: the corruption-injection
+/// tests use this to choose *which* byte to flip / where to truncate, so
+/// a failing case reproduces byte-identically from its seed alone.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn salted_pick(seed: u64, salt: u64, bound: usize) -> usize {
+    assert!(bound > 0, "salted_pick needs a non-empty range");
+    let mut state = seed ^ salt;
+    (splitmix64(&mut state) % bound as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_deterministic_and_salt_sensitive() {
+        let a = checksum(1, b"hello snapshot");
+        assert_eq!(a, checksum(1, b"hello snapshot"));
+        assert_ne!(a, checksum(2, b"hello snapshot"));
+        assert_ne!(a, checksum(1, b"hello snapshoT"));
+    }
+
+    #[test]
+    fn checksum_distinguishes_trailing_zeros_and_lengths() {
+        assert_ne!(checksum(7, b""), checksum(7, b"\0"));
+        assert_ne!(checksum(7, b"\0"), checksum(7, b"\0\0"));
+        assert_ne!(checksum(7, b"abc"), checksum(7, b"abc\0"));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_sum() {
+        let base = vec![0xA5u8; 100];
+        let want = checksum(3, &base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum(3, &flipped), want, "byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn salted_pick_is_pure_and_in_range() {
+        for seed in 0..50u64 {
+            let a = salted_pick(seed, 0xABCD, 17);
+            assert_eq!(a, salted_pick(seed, 0xABCD, 17));
+            assert!(a < 17);
+        }
+        // Different salts decorrelate the picks.
+        let picks_a: Vec<usize> = (0..20).map(|s| salted_pick(s, 1, 1000)).collect();
+        let picks_b: Vec<usize> = (0..20).map(|s| salted_pick(s, 2, 1000)).collect();
+        assert_ne!(picks_a, picks_b);
+    }
+}

@@ -1,0 +1,260 @@
+//! Differential suite: the incrementally-maintained spanner versus a
+//! from-scratch rebuild.
+//!
+//! Property under test: after **any** sequence of edge insertions and
+//! deletions — with compactions interleaved at arbitrary points — the
+//! incremental spanner satisfies the same multiplicative
+//! [`StretchBound`] (2k−1) that a from-scratch rebuild over the final
+//! graph satisfies, verified *exactly* (every connected pair) by
+//! [`verify_stretch_exact_threads`] at thread counts 1–8, and its size
+//! stays within the paper's `O(k · n^{1+1/k})` regime (asserted with the
+//! conformance-style slack `k·n + 8·n^{1+1/k}`). The durable
+//! [`DynamicStore`] variant additionally pins reload-equality: close,
+//! reopen, and the in-memory state is reproduced edit-for-edit.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spanner_baselines::baswana_sen::{recluster_region, BaswanaSenParams};
+use spanner_baselines::streaming::{DynamicSpanner, StreamingSpanner};
+use spanner_graph::distance::{verify_stretch_exact_threads, StretchBound};
+use spanner_graph::{generators, NodeId};
+use spanner_store::{scratch_dir, DynamicStore, SnapshotMeta};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// The paper-bound ceiling with conformance slack: `k·n + 8·n^{1+1/k}`.
+fn size_ceiling(n: usize, k: u32) -> usize {
+    let nf = n as f64;
+    (k as usize) * n + (8.0 * nf.powf(1.0 + 1.0 / f64::from(k))).ceil() as usize
+}
+
+/// Exact stretch check at every thread count in 1–8.
+fn assert_stretch_all_threads(s: &DynamicSpanner, context: &str) {
+    let g = s.to_graph();
+    let edge_set = s.spanner_edge_set(&g);
+    let bound = StretchBound::multiplicative(f64::from(s.stretch()));
+    for t in THREAD_COUNTS {
+        verify_stretch_exact_threads(&g, &edge_set, bound, t)
+            .unwrap_or_else(|v| panic!("{context}: stretch violated at {t} threads: {v}"));
+    }
+}
+
+/// Builds the from-scratch baseline over the final graph and checks it
+/// against the *same* bound the incremental spanner must satisfy — the
+/// differential anchor.
+fn assert_rebuild_same_bound(s: &DynamicSpanner) {
+    let n = s.node_count();
+    let mut rebuild = StreamingSpanner::new(n, s.k());
+    for (u, v) in s.graph_edges() {
+        rebuild.offer(u, v);
+    }
+    let fresh = DynamicSpanner::from_state(
+        n,
+        s.k(),
+        s.graph_edges().map(|(a, b)| (a.0, b.0)),
+        rebuild.edges().iter().map(|&(a, b)| (a.0, b.0)),
+    )
+    .expect("rebuild state is structurally valid");
+    assert_stretch_all_threads(&fresh, "from-scratch rebuild");
+    assert!(
+        rebuild.len() <= size_ceiling(n, s.k()),
+        "rebuild size {} over ceiling {}",
+        rebuild.len(),
+        size_ceiling(n, s.k())
+    );
+}
+
+/// Starts an incremental spanner from the streaming filter over a random
+/// connected graph.
+fn seeded_spanner(n: usize, m: usize, k: u32, seed: u64) -> DynamicSpanner {
+    let g = generators::connected_gnm(n, m, seed);
+    let mut s = DynamicSpanner::new(n, k);
+    for (_, u, v) in g.edges() {
+        s.insert(u, v);
+    }
+    s
+}
+
+/// One random edit: mode 0 inserts only, mode 1 deletes only, mode 2
+/// mixes. Returns whether the edit applied.
+fn random_edit(s: &mut DynamicSpanner, rng: &mut SmallRng, mode: u8) -> bool {
+    let n = s.node_count() as u32;
+    let u = rng.gen_range(0..n);
+    let mut v = rng.gen_range(0..n - 1);
+    if v >= u {
+        v += 1;
+    }
+    let delete = match mode {
+        0 => false,
+        1 => true,
+        _ => rng.gen_range(0..2u32) == 1,
+    };
+    if delete {
+        s.delete(NodeId(u), NodeId(v))
+    } else {
+        s.insert(NodeId(u), NodeId(v))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The tentpole differential property: random edit sequences with
+    // interleaved compactions, verified exactly at threads 1–8 against
+    // the bound a from-scratch rebuild satisfies, size within the paper
+    // ceiling throughout.
+    #[test]
+    fn edit_sequences_match_from_scratch_rebuild(
+        n in 8usize..=36,
+        extra in 0usize..=40,
+        k in 1u32..=3,
+        seed in 0u64..=u64::MAX / 2,
+        ops in 1usize..=48,
+        mode in 0u8..=2,
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let mut s = seeded_spanner(n, m, k, seed);
+        let params = BaswanaSenParams::new(k).expect("valid k");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xE017);
+        for i in 0..ops {
+            random_edit(&mut s, &mut rng, mode);
+            if i % 17 == 16 {
+                s.compact(|g, region| recluster_region(g, region, &params, seed));
+                prop_assert_eq!(s.dirty_len(), 0);
+            }
+        }
+        s.compact(|g, region| recluster_region(g, region, &params, seed));
+        assert_stretch_all_threads(&s, "incremental");
+        prop_assert!(
+            s.spanner_len() <= size_ceiling(n, k),
+            "incremental size {} over ceiling {}", s.spanner_len(), size_ceiling(n, k)
+        );
+        assert_rebuild_same_bound(&s);
+    }
+
+    // Durability differential: the same edits through DynamicStore, with
+    // a mid-sequence checkpoint; a reopened store reproduces the
+    // in-memory graph and spanner edge-for-edge and passes the same
+    // exact verification.
+    #[test]
+    fn checkpoint_and_reload_reproduce_in_memory_state(
+        n in 8usize..=24,
+        extra in 0usize..=20,
+        k in 1u32..=3,
+        seed in 0u64..=u64::MAX / 2,
+        ops in 1usize..=24,
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let csr = generators::connected_gnm_csr(n, m, seed);
+        let initial: Vec<(u32, u32)> = {
+            let mut filter = StreamingSpanner::new(n, k);
+            for (_, a, b) in csr.forward_edges() {
+                filter.offer(a, b);
+            }
+            filter.edges().iter().map(|&(a, b)| (a.0, b.0)).collect()
+        };
+        let dir = scratch_dir("parity");
+        let meta = SnapshotMeta { k, seed, routing: false };
+        let mut store = DynamicStore::create(&dir, &csr, &initial, meta).expect("create");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD15C);
+        for i in 0..ops {
+            let u = rng.gen_range(0..n as u32);
+            let mut v = rng.gen_range(0..n as u32 - 1);
+            if v >= u { v += 1; }
+            if rng.gen_range(0..2u32) == 0 {
+                store.insert(u.min(v), u.max(v)).expect("insert");
+            } else {
+                store.delete(u.min(v), u.max(v)).expect("delete");
+            }
+            if i == ops / 2 {
+                store.checkpoint().expect("checkpoint");
+            }
+        }
+        let reopened = DynamicStore::open(&dir).expect("reopen");
+        prop_assert_eq!(reopened.generation(), store.generation());
+        prop_assert_eq!(reopened.wal_len(), store.wal_len());
+        prop_assert_eq!(
+            reopened.spanner().graph_edges().collect::<Vec<_>>(),
+            store.spanner().graph_edges().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            reopened.spanner().spanner_edges().collect::<Vec<_>>(),
+            store.spanner().spanner_edges().collect::<Vec<_>>()
+        );
+        assert_stretch_all_threads(reopened.spanner(), "reopened store");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The empty edit sequence is the identity: nothing moves, a compaction
+/// is a no-op, and verification still passes.
+#[test]
+fn empty_edit_sequence_is_identity() {
+    let s0 = seeded_spanner(30, 70, 2, 11);
+    let before_graph: Vec<_> = s0.graph_edges().collect();
+    let mut s = s0;
+    let params = BaswanaSenParams::new(2).expect("valid k");
+    // Fresh-built state has dirty endpoints from the initial inserts;
+    // drain them, then the *empty edit sequence* compaction is a no-op.
+    s.compact(|g, region| recluster_region(g, region, &params, 11));
+    let settled_spanner: Vec<_> = s.spanner_edges().collect();
+    let stats = s.compact(|g, region| recluster_region(g, region, &params, 11));
+    assert_eq!(stats, Default::default(), "no-op compaction did work");
+    assert_eq!(s.graph_edges().collect::<Vec<_>>(), before_graph);
+    assert_eq!(s.spanner_edges().collect::<Vec<_>>(), settled_spanner);
+    assert_stretch_all_threads(&s, "identity sequence");
+}
+
+/// Compaction is hook-agnostic: the cover-repair pass after the hook
+/// restores the 2k−1 edge-cover invariant even when the hook's own
+/// guarantee is different — here the paper's skeleton construction
+/// (O(log n) stretch), the other CSR driver a compaction can replay
+/// through.
+#[test]
+fn skeleton_recluster_hook_also_preserves_cover() {
+    use ultrasparse::skeleton::{recluster_region, SkeletonParams};
+
+    let mut s = seeded_spanner(32, 90, 2, 19);
+    let params = SkeletonParams::new(4.0, 1.0).expect("valid params");
+    let mut rng = SmallRng::seed_from_u64(0x5E1E);
+    for i in 0..40 {
+        random_edit(&mut s, &mut rng, 2);
+        if i % 13 == 12 {
+            s.compact(|g, region| recluster_region(g, region, &params, 19));
+            assert_eq!(s.dirty_len(), 0);
+        }
+    }
+    s.compact(|g, region| recluster_region(g, region, &params, 19));
+    assert_stretch_all_threads(&s, "skeleton hook");
+}
+
+/// Deleting down to a disconnected graph: connected pairs still meet the
+/// bound, disconnected pairs impose none, and the spanner carries no
+/// ghost edges across the cut.
+#[test]
+fn delete_to_disconnection_stays_consistent() {
+    let n = 24usize;
+    let mut s = DynamicSpanner::new(n, 2);
+    for i in 0..n as u32 - 1 {
+        s.insert(NodeId(i), NodeId(i + 1));
+    }
+    // Sever the path in the middle: two components.
+    assert!(s.delete(NodeId(11), NodeId(12)));
+    assert_stretch_all_threads(&s, "severed path");
+    for (u, v) in s.spanner_edges() {
+        assert_eq!(
+            (u.0 <= 11),
+            (v.0 <= 11),
+            "spanner edge {u:?}-{v:?} crosses the cut"
+        );
+    }
+    // Delete everything: the spanner must drain to empty alongside.
+    let edges: Vec<_> = s.graph_edges().collect();
+    for (u, v) in edges {
+        assert!(s.delete(u, v));
+    }
+    assert_eq!(s.graph_len(), 0);
+    assert_eq!(s.spanner_len(), 0);
+    assert_stretch_all_threads(&s, "fully deleted");
+}

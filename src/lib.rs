@@ -14,7 +14,10 @@
 //!   application domain),
 //! * [`serve`] — the batched distance/routing query server over the
 //!   oracle (PROTOCOL.md line protocol, result cache, load generator
-//!   workloads).
+//!   workloads),
+//! * [`store`] — versioned on-disk snapshots of graphs and built
+//!   spanners plus the log-structured incremental update path
+//!   (WAL-buffered edits, dirty-region recluster compaction).
 //!
 //! # Example
 //!
@@ -31,4 +34,5 @@ pub use spanner_lowerbound as lowerbound;
 pub use spanner_netsim as netsim;
 pub use spanner_oracle as oracle;
 pub use spanner_serve as serve;
+pub use spanner_store as store;
 pub use ultrasparse as core;
